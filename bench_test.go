@@ -1,0 +1,261 @@
+// Benchmarks regenerating every table and figure of the paper's evaluation
+// (at experiment.TestScale, sized so the full -bench=. sweep completes in
+// minutes on one core), plus micro-benchmarks of the substrates the pipeline
+// spends its time in. For paper-shaped output at a more faithful scale, run:
+//
+//	go run ./cmd/ovstables -exp all -scale quick
+package ovs_test
+
+import (
+	"math/rand"
+	"testing"
+
+	"ovs"
+	"ovs/internal/autodiff"
+	"ovs/internal/dataset"
+	"ovs/internal/experiment"
+	"ovs/internal/nn"
+	"ovs/internal/sim"
+	"ovs/internal/tensor"
+)
+
+// benchScale trims TestScale slightly so every table bench iteration stays
+// in the seconds-to-a-minute range.
+func benchScale() experiment.Scale {
+	sc := experiment.TestScale()
+	sc.Samples = 5
+	sc.V2SEpochs, sc.T2VEpochs, sc.FitEpochs = 7, 5, 25
+	sc.ODPairs = 5
+	return sc
+}
+
+// BenchmarkTableVI regenerates the real-dataset comparison (Hangzhou, Porto,
+// Manhattan × 7 methods, RMSE on TOD/volume/speed).
+func BenchmarkTableVI(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunRealComparison(benchScale(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableVII regenerates the running-time table (OVS wall-clock on
+// the three real datasets).
+func BenchmarkTableVII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunRunningTime(benchScale(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableVIII regenerates the synthetic comparison (five TOD patterns
+// × 7 methods on the 3×3 grid).
+func BenchmarkTableVIII(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunSyntheticComparison(benchScale(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableIX regenerates the ablation study (OVS and its three
+// FC-ablated variants on the Random pattern).
+func BenchmarkTableIX(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunAblation(benchScale(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkTableX regenerates the case-study speed-fitting comparison
+// (Table X columns Case 1 and Case 2).
+func BenchmarkTableX(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunCaseStudy1(benchScale(), 1); err != nil {
+			b.Fatal(err)
+		}
+		if _, err := experiment.RunCaseStudy2(benchScale(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure9 regenerates the scalability sweep (OVS running time vs
+// intersection count; the paper sweeps to 1000, the bench to 100).
+func BenchmarkFigure9(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunScalability(benchScale(), []int{10, 50, 100}, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure10 regenerates the census-constraint experiment (recovered
+// daily OD sums with and without the auxiliary loss).
+func BenchmarkFigure10(b *testing.B) {
+	sc := benchScale()
+	sc.ODPairs = 12
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunCensusConstraint(sc, 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure11 regenerates the road-work robustness experiment.
+func BenchmarkFigure11(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunRoadWork(benchScale(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure12 regenerates case study 1 (Hangzhou Sunday TOD curves).
+func BenchmarkFigure12(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunCaseStudy1(benchScale(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkFigure13 regenerates case study 2 (football Saturday TOD curves).
+func BenchmarkFigure13(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunCaseStudy2(benchScale(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRouteChoiceAblation runs the route-choice design-choice ablation
+// (k=1 vs k=2 route splits under dynamic routing).
+func BenchmarkRouteChoiceAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunRouteChoice(benchScale(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkEngineCrossAblation runs the simulator-mismatch ablation
+// (meso-trained chain observing micro-engine speeds).
+func BenchmarkEngineCrossAblation(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := experiment.RunEngineCross(benchScale(), 1); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// ---- Substrate micro-benchmarks ----
+
+// BenchmarkSimulatorMeso measures mesoscopic engine throughput on the 3×3
+// grid with moderate demand (the inner loop of training-data generation).
+func BenchmarkSimulatorMeso(b *testing.B) {
+	city := dataset.SyntheticGrid(8, 1)
+	g := tensor.Full(20, city.NumPairs(), 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sim.New(city.Net, sim.Config{Intervals: 6, IntervalSec: 300, Seed: int64(i)})
+		if _, err := s.Run(sim.Demand{ODs: city.ODs, G: g}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkSimulatorMicro measures the IDM car-following engine on the same
+// workload.
+func BenchmarkSimulatorMicro(b *testing.B) {
+	city := dataset.SyntheticGrid(8, 1)
+	g := tensor.Full(20, city.NumPairs(), 6)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s := sim.New(city.Net, sim.Config{Intervals: 6, IntervalSec: 300, Seed: int64(i), Engine: sim.Micro})
+		if _, err := s.Run(sim.Demand{ODs: city.ODs, G: g}); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkModelForward measures one OVS forward pass (TOD→volume→speed) on
+// the 3×3 grid topology.
+func BenchmarkModelForward(b *testing.B) {
+	city := dataset.SyntheticGrid(8, 1)
+	pairs := make([][2]int, len(city.ODs))
+	for i, od := range city.ODs {
+		pairs[i] = [2]int{od.Origin, od.Dest}
+	}
+	topo, err := ovs.NewTopology(city.Net, pairs, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := ovs.NewModel(topo, ovs.DefaultModelConfig())
+	g := tensor.Full(20, city.NumPairs(), 8)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = model.Forward(g)
+	}
+}
+
+// BenchmarkFitEpoch measures one test-time fitting epoch (forward + backward
+// through all three modules).
+func BenchmarkFitEpoch(b *testing.B) {
+	city := dataset.SyntheticGrid(8, 1)
+	pairs := make([][2]int, len(city.ODs))
+	for i, od := range city.ODs {
+		pairs[i] = [2]int{od.Origin, od.Dest}
+	}
+	topo, err := ovs.NewTopology(city.Net, pairs, 8, 1)
+	if err != nil {
+		b.Fatal(err)
+	}
+	model := ovs.NewModel(topo, ovs.DefaultModelConfig())
+	_, speed := model.Forward(tensor.Full(20, city.NumPairs(), 8))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := model.Fit(speed, 1, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkDijkstra measures shortest-path routing on a 20×20 grid.
+func BenchmarkDijkstra(b *testing.B) {
+	net := ovs.Grid(ovs.GridConfig{Rows: 20, Cols: 20})
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, _, err := net.ShortestPath(0, net.NumNodes()-1, nil, nil); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkMatMul measures the dense kernel at an LSTM-typical size.
+func BenchmarkMatMul(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 1, 64, 64)
+	y := tensor.Randn(rng, 1, 64, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_ = tensor.MatMul(x, y)
+	}
+}
+
+// BenchmarkLSTMForwardBackward measures one LSTM training step (T=12).
+func BenchmarkLSTMForwardBackward(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	l := nn.NewLSTM(rng, "bench", 8, 32)
+	x := tensor.Randn(rng, 1, 12, 8)
+	target := tensor.Randn(rng, 1, 12, 32)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g := autodiff.NewGraph()
+		out := l.Forward(g.Const(x), true)
+		loss := autodiff.MSE(out, target)
+		g.Backward(loss)
+	}
+}

@@ -1,0 +1,179 @@
+// Command ovsfit is the deployment loop of the OVS pipeline: train the
+// volume-speed and TOD-volume mappings once for a city and save them; then,
+// for each new speed observation window, load the trained chain and fit only
+// the TOD generator to recover that window's demand.
+//
+// Usage:
+//
+//	ovsfit -city Hangzhou -train -model hangzhou.ovs
+//	ovsfit -city Hangzhou -model hangzhou.ovs -fit observed_speed.json -o recovered_tod.json
+//
+// The observation file holds a (links × intervals) speed matrix:
+//
+//	{"speed": [[13.9, 12.1, ...], ...]}
+//
+// Without -fit, a demonstration observation is synthesized from the city's
+// ground-truth generator and the recovery is scored against it.
+package main
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"time"
+
+	"ovs/internal/dataset"
+	"ovs/internal/experiment"
+	"ovs/internal/metrics"
+	"ovs/internal/sim"
+	"ovs/internal/tensor"
+)
+
+type speedFile struct {
+	Speed [][]float64 `json:"speed"`
+}
+
+type todFile struct {
+	G [][]float64 `json:"g"`
+}
+
+func main() {
+	cityName := flag.String("city", "Hangzhou", "city preset: Hangzhou|Porto|Manhattan|StateCollege")
+	train := flag.Bool("train", false, "train the mappings and save the model")
+	modelPath := flag.String("model", "model.ovs", "model parameter file")
+	fitPath := flag.String("fit", "", "observed speed JSON to invert (omit for a self-test demo)")
+	outPath := flag.String("o", "", "write the recovered TOD JSON here")
+	scaleName := flag.String("scale", "test", "effort: test|quick|full")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	if err := run(*cityName, *train, *modelPath, *fitPath, *outPath, *scaleName, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(cityName string, train bool, modelPath, fitPath, outPath, scaleName string, seed int64) error {
+	var sc experiment.Scale
+	switch scaleName {
+	case "test":
+		sc = experiment.TestScale()
+	case "quick":
+		sc = experiment.QuickScale()
+	case "full":
+		sc = experiment.FullScale()
+	default:
+		return fmt.Errorf("unknown scale %q", scaleName)
+	}
+	city, err := dataset.ByName(cityName, dataset.CityOptions{ODPairs: sc.ODPairs, Seed: seed})
+	if err != nil {
+		return err
+	}
+	env, err := experiment.NewEnv(city, sc, seed)
+	if err != nil {
+		return err
+	}
+	model, err := env.BuildOVS()
+	if err != nil {
+		return err
+	}
+
+	if train {
+		start := time.Now()
+		if _, err := model.TrainV2S(env.Samples, sc.V2SEpochs); err != nil {
+			return err
+		}
+		if _, err := model.TrainT2V(env.Samples, sc.T2VEpochs); err != nil {
+			return err
+		}
+		f, err := os.Create(modelPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		if err := model.Save(f); err != nil {
+			return err
+		}
+		fmt.Printf("trained %s mappings in %s, saved to %s\n",
+			cityName, time.Since(start).Round(time.Second), modelPath)
+		return nil
+	}
+
+	// Fit mode: load trained parameters.
+	f, err := os.Open(modelPath)
+	if err != nil {
+		return fmt.Errorf("open model (run with -train first?): %w", err)
+	}
+	defer f.Close()
+	if err := model.Load(f); err != nil {
+		return err
+	}
+
+	var obs *tensor.Tensor
+	var truth *tensor.Tensor
+	if fitPath != "" {
+		raw, err := os.ReadFile(fitPath)
+		if err != nil {
+			return err
+		}
+		var doc speedFile
+		if err := json.Unmarshal(raw, &doc); err != nil {
+			return fmt.Errorf("parse %s: %w", fitPath, err)
+		}
+		m := city.Net.NumLinks()
+		if len(doc.Speed) != m {
+			return fmt.Errorf("observation has %d links, network has %d", len(doc.Speed), m)
+		}
+		t := len(doc.Speed[0])
+		obs = tensor.New(m, t)
+		for j, row := range doc.Speed {
+			if len(row) != t {
+				return fmt.Errorf("ragged speed matrix at link %d", j)
+			}
+			for tt, v := range row {
+				obs.Set(v, j, tt)
+			}
+		}
+		if t != sc.Intervals {
+			return fmt.Errorf("observation has %d intervals; the model was trained for %d", t, sc.Intervals)
+		}
+	} else {
+		// Demo: synthesize a hidden observation window.
+		rng := rand.New(rand.NewSource(seed + 404))
+		truth = city.GroundTruthTOD(sc.Intervals, sc.GTScale, rng)
+		res, err := sim.New(city.Net, env.SimCfg).Run(sim.Demand{ODs: city.ODs, G: truth})
+		if err != nil {
+			return err
+		}
+		obs = res.Speed
+		fmt.Println("no -fit file given: synthesized a hidden demo observation")
+	}
+
+	start := time.Now()
+	rec, _, err := model.Fit(obs, sc.FitEpochs, nil)
+	if err != nil {
+		return err
+	}
+	fmt.Printf("fitted TOD generator in %s\n", time.Since(start).Round(time.Millisecond))
+	if truth != nil {
+		fmt.Printf("demo recovery RMSE vs hidden truth: %.2f trips\n", metrics.RMSE(rec, truth))
+	}
+
+	if outPath != "" {
+		doc := todFile{G: make([][]float64, rec.Dim(0))}
+		for i := range doc.G {
+			doc.G[i] = rec.Row(i).Data
+		}
+		enc, err := json.MarshalIndent(doc, "", "  ")
+		if err != nil {
+			return err
+		}
+		if err := os.WriteFile(outPath, append(enc, '\n'), 0o644); err != nil {
+			return err
+		}
+		fmt.Printf("wrote recovered TOD to %s\n", outPath)
+	}
+	return nil
+}

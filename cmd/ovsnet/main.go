@@ -1,0 +1,105 @@
+// Command ovsnet generates, imports, inspects, and exports road networks.
+//
+// Usage:
+//
+//	ovsnet -city Manhattan -o manhattan.json        # export a preset
+//	ovsnet -grid 5x5 -stats                         # generate and inspect
+//	ovsnet -osm extract.json -o net.json -stats     # import an OSM-style file
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math"
+	"os"
+
+	"ovs/internal/dataset"
+	"ovs/internal/roadnet"
+	"ovs/internal/trafficio"
+)
+
+func main() {
+	cityName := flag.String("city", "", "city preset: Hangzhou|Porto|Manhattan|StateCollege")
+	gridSpec := flag.String("grid", "", "grid network, e.g. 5x5")
+	osmPath := flag.String("osm", "", "import an OSM-style JSON extract")
+	netPath := flag.String("net", "", "load a network JSON written by this tool")
+	outPath := flag.String("o", "", "write the network JSON here")
+	stats := flag.Bool("stats", true, "print network statistics")
+	seed := flag.Int64("seed", 1, "generation seed")
+	flag.Parse()
+
+	net, err := load(*cityName, *gridSpec, *osmPath, *netPath, *seed)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	if *stats {
+		printStats(net)
+	}
+	if *outPath != "" {
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		defer f.Close()
+		if err := trafficio.WriteNetwork(f, net); err != nil {
+			fmt.Fprintln(os.Stderr, err)
+			os.Exit(1)
+		}
+		fmt.Printf("wrote %s\n", *outPath)
+	}
+}
+
+func load(cityName, gridSpec, osmPath, netPath string, seed int64) (*roadnet.Network, error) {
+	switch {
+	case cityName != "":
+		c, err := dataset.ByName(cityName, dataset.CityOptions{Seed: seed})
+		if err != nil {
+			return nil, err
+		}
+		return c.Net, nil
+	case gridSpec != "":
+		var rows, cols int
+		if _, err := fmt.Sscanf(gridSpec, "%dx%d", &rows, &cols); err != nil {
+			return nil, fmt.Errorf("bad -grid %q (want RxC)", gridSpec)
+		}
+		return roadnet.Grid(roadnet.GridConfig{Rows: rows, Cols: cols}), nil
+	case osmPath != "":
+		f, err := os.Open(osmPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trafficio.ImportOSM(f)
+	case netPath != "":
+		f, err := os.Open(netPath)
+		if err != nil {
+			return nil, err
+		}
+		defer f.Close()
+		return trafficio.ReadNetwork(f)
+	default:
+		return nil, fmt.Errorf("one of -city, -grid, -osm, -net is required")
+	}
+}
+
+func printStats(net *roadnet.Network) {
+	totalLen, minLen, maxLen := 0.0, math.Inf(1), 0.0
+	lanes := map[int]int{}
+	for _, l := range net.Links {
+		totalLen += l.Length
+		minLen = math.Min(minLen, l.Length)
+		maxLen = math.Max(maxLen, l.Length)
+		lanes[l.Lanes]++
+	}
+	fmt.Printf("intersections: %d\n", net.NumNodes())
+	fmt.Printf("links:         %d (%d roads)\n", net.NumLinks(), net.NumLinks()/2)
+	fmt.Printf("total length:  %.1f km\n", totalLen/1000)
+	if net.NumLinks() > 0 {
+		fmt.Printf("link length:   min %.0f m, mean %.0f m, max %.0f m\n",
+			minLen, totalLen/float64(net.NumLinks()), maxLen)
+	}
+	fmt.Printf("lane mix:      %v\n", lanes)
+	fmt.Printf("strongly connected: %v\n", net.StronglyConnected())
+}

@@ -1,0 +1,113 @@
+// Command ovsrun runs one recovery method on one dataset end-to-end and
+// prints the paper's three RMSE metrics — the smallest unit of the
+// evaluation, useful for iterating on a single method or dataset.
+//
+// Usage:
+//
+//	ovsrun -city Hangzhou -method OVS -scale quick
+//	ovsrun -pattern Gaussian -method LSTM -scale test
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ovs/internal/baselines"
+	"ovs/internal/dataset"
+	"ovs/internal/experiment"
+)
+
+func main() {
+	cityName := flag.String("city", "", "city preset: Hangzhou|Porto|Manhattan|StateCollege")
+	patternName := flag.String("pattern", "", "synthetic pattern on the 3x3 grid: Random|Increasing|Decreasing|Gaussian|Poisson")
+	method := flag.String("method", "OVS", "method: OVS|Gravity|Genetic|GLS|EM|NN|LSTM")
+	scaleName := flag.String("scale", "test", "effort: test|quick|full")
+	seed := flag.Int64("seed", 1, "seed")
+	flag.Parse()
+
+	if err := run(*cityName, *patternName, *method, *scaleName, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(cityName, patternName, method, scaleName string, seed int64) error {
+	var sc experiment.Scale
+	switch scaleName {
+	case "test":
+		sc = experiment.TestScale()
+	case "quick":
+		sc = experiment.QuickScale()
+	case "full":
+		sc = experiment.FullScale()
+	default:
+		return fmt.Errorf("unknown scale %q", scaleName)
+	}
+
+	var env *experiment.Env
+	var err error
+	switch {
+	case cityName != "":
+		city, cerr := dataset.ByName(cityName, dataset.CityOptions{ODPairs: sc.ODPairs, Seed: seed})
+		if cerr != nil {
+			return cerr
+		}
+		env, err = experiment.NewEnv(city, sc, seed)
+	case patternName != "":
+		var pat dataset.Pattern
+		found := false
+		for _, p := range dataset.AllPatterns {
+			if strings.EqualFold(p.String(), patternName) {
+				pat, found = p, true
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown pattern %q", patternName)
+		}
+		env, err = experiment.NewSyntheticEnv(pat, sc, seed)
+	default:
+		return fmt.Errorf("one of -city or -pattern is required")
+	}
+	if err != nil {
+		return err
+	}
+
+	start := time.Now()
+	if strings.EqualFold(method, "OVS") {
+		tod, _, elapsed, oerr := env.RunOVS(nil)
+		if oerr != nil {
+			return oerr
+		}
+		fmt.Printf("OVS trained and fitted in %s\n", elapsed.Round(time.Millisecond))
+		triple, eerr := env.Evaluate(tod)
+		if eerr != nil {
+			return eerr
+		}
+		fmt.Printf("RMSE: TOD %.2f  volume %.2f  speed %.2f\n", triple.TOD, triple.Volume, triple.Speed)
+		return nil
+	}
+
+	var m baselines.Method
+	for _, cand := range env.Methods() {
+		if strings.EqualFold(cand.Name(), method) {
+			m = cand
+		}
+	}
+	if m == nil {
+		return fmt.Errorf("unknown method %q", method)
+	}
+	tod, rerr := m.Recover(env.Context())
+	if rerr != nil {
+		return rerr
+	}
+	fmt.Printf("%s recovered in %s\n", m.Name(), time.Since(start).Round(time.Millisecond))
+	triple, eerr := env.Evaluate(tod)
+	if eerr != nil {
+		return eerr
+	}
+	fmt.Printf("RMSE: TOD %.2f  volume %.2f  speed %.2f\n", triple.TOD, triple.Volume, triple.Speed)
+	return nil
+}

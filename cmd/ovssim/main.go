@@ -1,0 +1,170 @@
+// Command ovssim runs the traffic simulator on a TOD demand and prints (or
+// writes) the resulting per-link volume/speed tensors as JSON.
+//
+// Usage:
+//
+//	ovssim -city Hangzhou -demand demand.json -o out.json
+//	ovssim -grid 3x3 -pattern Random -scale 0.5 -intervals 8
+//	ovssim -net network.json -demand demand.json -engine micro
+//
+// Demand files use the trafficio format: {"ods": [[o,d],...], "g": [[...]]}.
+// Without -demand, a synthetic TOD is drawn from -pattern over the city's
+// preset OD pairs.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+	"strings"
+
+	"ovs/internal/dataset"
+	"ovs/internal/roadnet"
+	"ovs/internal/sim"
+	"ovs/internal/trafficio"
+)
+
+func main() {
+	cityName := flag.String("city", "", "city preset: Hangzhou|Porto|Manhattan|StateCollege")
+	gridSpec := flag.String("grid", "", "grid network, e.g. 3x3")
+	netPath := flag.String("net", "", "network JSON (trafficio format)")
+	demandPath := flag.String("demand", "", "demand JSON file (optional)")
+	patternName := flag.String("pattern", "Random", "synthetic pattern when no -demand given")
+	scale := flag.Float64("scale", 0.5, "synthetic demand scale")
+	intervals := flag.Int("intervals", 8, "number of observation intervals")
+	intervalSec := flag.Float64("intervalsec", 300, "interval length in seconds")
+	engine := flag.String("engine", "meso", "engine: meso|micro")
+	routing := flag.String("routing", "static", "routing: static|dynamic|stochastic")
+	signals := flag.Bool("signals", false, "add fixed-time signals at major intersections")
+	seed := flag.Int64("seed", 1, "simulation seed")
+	outPath := flag.String("o", "", "output JSON path (default stdout)")
+	flag.Parse()
+
+	if err := run(*cityName, *gridSpec, *netPath, *demandPath, *patternName,
+		*scale, *intervals, *intervalSec, *engine, *routing, *signals, *seed, *outPath); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(cityName, gridSpec, netPath, demandPath, patternName string,
+	scale float64, intervals int, intervalSec float64,
+	engineName, routingName string, signals bool, seed int64, outPath string) error {
+
+	var net *roadnet.Network
+	var city *dataset.City
+	switch {
+	case cityName != "":
+		c, err := dataset.ByName(cityName, dataset.CityOptions{Seed: seed})
+		if err != nil {
+			return err
+		}
+		city, net = c, c.Net
+	case gridSpec != "":
+		var rows, cols int
+		if _, err := fmt.Sscanf(gridSpec, "%dx%d", &rows, &cols); err != nil {
+			return fmt.Errorf("bad -grid %q (want RxC)", gridSpec)
+		}
+		net = roadnet.Grid(roadnet.GridConfig{Rows: rows, Cols: cols})
+		rng := rand.New(rand.NewSource(seed))
+		regions := roadnet.PerNodeRegions(net, rng)
+		city = &dataset.City{
+			Name: gridSpec, Net: net,
+			Regions: regions,
+			Kinds:   make([]dataset.RegionKind, len(regions)),
+			Pairs:   roadnet.SelectODPairs(regions, 8, rng),
+		}
+		city.ResolveODs()
+	case netPath != "":
+		f, err := os.Open(netPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		net, err = trafficio.ReadNetwork(f)
+		if err != nil {
+			return err
+		}
+		if demandPath == "" {
+			return fmt.Errorf("-net requires -demand (no preset OD pairs available)")
+		}
+	default:
+		return fmt.Errorf("one of -city, -grid, or -net is required")
+	}
+
+	var eng sim.Engine
+	switch strings.ToLower(engineName) {
+	case "meso":
+		eng = sim.Meso
+	case "micro":
+		eng = sim.Micro
+	default:
+		return fmt.Errorf("unknown engine %q", engineName)
+	}
+	var mode sim.RoutingMode
+	switch strings.ToLower(routingName) {
+	case "static":
+		mode = sim.StaticRouting
+	case "dynamic":
+		mode = sim.DynamicRouting
+	case "stochastic":
+		mode = sim.StochasticRouting
+	default:
+		return fmt.Errorf("unknown routing %q", routingName)
+	}
+
+	var demand sim.Demand
+	if demandPath != "" {
+		f, err := os.Open(demandPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		demand, err = trafficio.ReadDemand(f)
+		if err != nil {
+			return err
+		}
+		intervals = demand.G.Dim(1)
+	} else {
+		var pat dataset.Pattern
+		found := false
+		for _, p := range dataset.AllPatterns {
+			if strings.EqualFold(p.String(), patternName) {
+				pat, found = p, true
+			}
+		}
+		if !found {
+			return fmt.Errorf("unknown pattern %q", patternName)
+		}
+		rng := rand.New(rand.NewSource(seed + 1))
+		g := dataset.GenerateTOD(pat, dataset.TODConfig{
+			Pairs: city.NumPairs(), Intervals: intervals,
+			IntervalMinutes: intervalSec / 60, Scale: scale,
+		}, rng)
+		demand = sim.Demand{ODs: city.ODs, G: g}
+	}
+
+	cfg := sim.Config{
+		Intervals: intervals, IntervalSec: intervalSec,
+		Engine: eng, Routing: mode, Seed: seed,
+	}
+	if signals {
+		cfg.Signals = sim.UniformSignals(net, 60, 3)
+	}
+	res, err := sim.New(net, cfg).Run(demand)
+	if err != nil {
+		return err
+	}
+
+	out := os.Stdout
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	return trafficio.WriteResult(out, res)
+}

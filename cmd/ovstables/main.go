@@ -1,0 +1,159 @@
+// Command ovstables regenerates the paper's tables and figures.
+//
+// Usage:
+//
+//	ovstables -exp tableviii -scale quick -seed 1
+//	ovstables -exp all -scale test
+//
+// Experiments: tablevi, tablevii, tableviii, tableix, tablex, fig9, fig10,
+// fig11, fig12, fig13, all. Scales: test (seconds per experiment), quick
+// (the default; minutes per experiment), full (closer to the paper's
+// protocol; slow).
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"ovs/internal/experiment"
+)
+
+func main() {
+	exp := flag.String("exp", "all", "experiment id: tablevi|tablevii|tableviii|tableix|tablex|fig9|fig10|fig11|fig12|fig13|routechoice|enginecross|noise|all (comma-separated)")
+	scaleName := flag.String("scale", "quick", "effort: test|quick|full")
+	seed := flag.Int64("seed", 1, "experiment seed")
+	fig9Sizes := flag.String("fig9sizes", "10,50,100", "comma-separated intersection counts for fig9")
+	flag.Parse()
+
+	var sc experiment.Scale
+	switch *scaleName {
+	case "test":
+		sc = experiment.TestScale()
+	case "quick":
+		sc = experiment.QuickScale()
+	case "full":
+		sc = experiment.FullScale()
+	default:
+		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		os.Exit(2)
+	}
+
+	ids := strings.Split(*exp, ",")
+	if *exp == "all" {
+		ids = []string{"tableviii", "tablevi", "tablevii", "tableix", "tablex", "fig9", "fig10", "fig11", "fig12", "fig13"}
+	}
+	for _, id := range ids {
+		start := time.Now()
+		if err := run(strings.TrimSpace(id), sc, *seed, parseSizes(*fig9Sizes)); err != nil {
+			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			os.Exit(1)
+		}
+		fmt.Printf("[%s done in %s]\n\n", id, time.Since(start).Round(time.Second))
+	}
+}
+
+func parseSizes(s string) []int {
+	var out []int
+	for _, part := range strings.Split(s, ",") {
+		var n int
+		if _, err := fmt.Sscanf(strings.TrimSpace(part), "%d", &n); err == nil && n > 0 {
+			out = append(out, n)
+		}
+	}
+	return out
+}
+
+func run(id string, sc experiment.Scale, seed int64, fig9Sizes []int) error {
+	switch id {
+	case "tablevi":
+		results, err := experiment.RunRealComparison(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderComparison("Table VI: RMSE on real datasets", results))
+	case "tablevii":
+		res, err := experiment.RunRunningTime(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "tableviii":
+		results, err := experiment.RunSyntheticComparison(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(experiment.RenderComparison("Table VIII: RMSE on synthetic patterns", results))
+	case "tableix":
+		res, err := experiment.RunAblation(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "tablex":
+		cs1, err := experiment.RunCaseStudy1(sc, seed)
+		if err != nil {
+			return err
+		}
+		cs2, err := experiment.RunCaseStudy2(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Table X: RMSE_speed in real-world scenarios")
+		fmt.Println(cs1.Render())
+		fmt.Println(cs2.Render())
+	case "fig9":
+		res, err := experiment.RunScalability(sc, fig9Sizes, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "fig10":
+		res, err := experiment.RunCensusConstraint(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "fig11":
+		res, err := experiment.RunRoadWork(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "fig12":
+		res, err := experiment.RunCaseStudy1(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 12: " + res.Render())
+	case "fig13":
+		res, err := experiment.RunCaseStudy2(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println("Figure 13: " + res.Render())
+	case "routechoice":
+		res, err := experiment.RunRouteChoice(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "enginecross":
+		res, err := experiment.RunEngineCross(sc, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	case "noise":
+		res, err := experiment.RunNoiseRobustness(sc, nil, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Println(res.Render())
+	default:
+		return fmt.Errorf("unknown experiment %q", id)
+	}
+	return nil
+}

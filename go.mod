@@ -1,0 +1,3 @@
+module ovs
+
+go 1.22

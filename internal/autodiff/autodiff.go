@@ -1,0 +1,438 @@
+// Package autodiff implements a small reverse-mode automatic differentiation
+// engine over dense tensors. It is the training substrate for the OVS model
+// and the learned baselines: each forward pass records operations on a tape,
+// and Backward replays the tape in reverse, accumulating gradients into
+// persistent Parameters.
+//
+// The design favors explicitness over generality: every operation has a
+// hand-written backward rule that is verified against finite differences in
+// the package tests.
+package autodiff
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ovs/internal/tensor"
+)
+
+// Parameter is a trainable tensor with persistent gradient storage. It lives
+// outside any single Graph so that optimizers can update it across many
+// forward/backward passes.
+type Parameter struct {
+	Name  string
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+}
+
+// NewParameter wraps value as a trainable parameter with zeroed gradient.
+func NewParameter(name string, value *tensor.Tensor) *Parameter {
+	return &Parameter{Name: name, Value: value, Grad: tensor.New(value.Shape()...)}
+}
+
+// ZeroGrad clears the accumulated gradient.
+func (p *Parameter) ZeroGrad() { p.Grad.Zero() }
+
+// Node is one value in the computation graph. Value is set during the
+// forward pass; Grad is allocated lazily and filled during Backward.
+type Node struct {
+	Value *tensor.Tensor
+	Grad  *tensor.Tensor
+
+	graph    *Graph
+	requires bool   // does any parameter feed into this node?
+	back     func() // accumulates into parents' Grad; nil for leaves
+	param    *Parameter
+}
+
+// Graph is a tape of nodes in forward (topological) order.
+type Graph struct {
+	nodes []*Node
+}
+
+// NewGraph returns an empty tape.
+func NewGraph() *Graph { return &Graph{} }
+
+// NumNodes returns the number of recorded nodes (useful in tests and for
+// instrumentation).
+func (g *Graph) NumNodes() int { return len(g.nodes) }
+
+// Graph returns the tape this node was recorded on. Layers use it to attach
+// their parameter leaves to the same tape as their input.
+func (n *Node) Graph() *Graph { return n.graph }
+
+func (g *Graph) add(n *Node) *Node {
+	n.graph = g
+	g.nodes = append(g.nodes, n)
+	return n
+}
+
+// Param records a leaf node backed by a trainable parameter. Gradients flow
+// into the parameter's persistent Grad tensor.
+func (g *Graph) Param(p *Parameter) *Node {
+	return g.add(&Node{Value: p.Value, Grad: p.Grad, requires: true, param: p})
+}
+
+// Const records a leaf node with no gradient flow.
+func (g *Graph) Const(t *tensor.Tensor) *Node {
+	return g.add(&Node{Value: t, requires: false})
+}
+
+// ensureGrad allocates the node's gradient buffer on first use.
+func (n *Node) ensureGrad() *tensor.Tensor {
+	if n.Grad == nil {
+		n.Grad = tensor.New(n.Value.Shape()...)
+	}
+	return n.Grad
+}
+
+// Backward runs reverse-mode differentiation from the given scalar output
+// node. It panics if out is not scalar (shape [1]) or does not belong to g.
+func (g *Graph) Backward(out *Node) {
+	if out.graph != g {
+		panic("autodiff: Backward on node from a different graph")
+	}
+	if out.Value.Size() != 1 {
+		panic(fmt.Sprintf("autodiff: Backward requires a scalar output, got shape %v", out.Value.Shape()))
+	}
+	out.ensureGrad()
+	out.Grad.Data[0] = 1
+	for i := len(g.nodes) - 1; i >= 0; i-- {
+		n := g.nodes[i]
+		if n.back != nil && n.requires && n.Grad != nil {
+			n.back()
+		}
+	}
+}
+
+func sameGraph(op string, nodes ...*Node) *Graph {
+	g := nodes[0].graph
+	for _, n := range nodes[1:] {
+		if n.graph != g {
+			panic("autodiff: " + op + " mixes nodes from different graphs")
+		}
+	}
+	return g
+}
+
+// ---- Elementwise binary operations ----
+
+// Add returns a + b elementwise.
+func Add(a, b *Node) *Node {
+	g := sameGraph("Add", a, b)
+	out := &Node{Value: tensor.Add(a.Value, b.Value), requires: a.requires || b.requires}
+	out.back = func() {
+		if a.requires {
+			tensor.AddInPlace(a.ensureGrad(), out.Grad)
+		}
+		if b.requires {
+			tensor.AddInPlace(b.ensureGrad(), out.Grad)
+		}
+	}
+	return g.add(out)
+}
+
+// Sub returns a - b elementwise.
+func Sub(a, b *Node) *Node {
+	g := sameGraph("Sub", a, b)
+	out := &Node{Value: tensor.Sub(a.Value, b.Value), requires: a.requires || b.requires}
+	out.back = func() {
+		if a.requires {
+			tensor.AddInPlace(a.ensureGrad(), out.Grad)
+		}
+		if b.requires {
+			tensor.AxpyInPlace(b.ensureGrad(), -1, out.Grad)
+		}
+	}
+	return g.add(out)
+}
+
+// Mul returns the elementwise product a * b.
+func Mul(a, b *Node) *Node {
+	g := sameGraph("Mul", a, b)
+	out := &Node{Value: tensor.Mul(a.Value, b.Value), requires: a.requires || b.requires}
+	out.back = func() {
+		if a.requires {
+			ga := a.ensureGrad()
+			for i := range ga.Data {
+				ga.Data[i] += out.Grad.Data[i] * b.Value.Data[i]
+			}
+		}
+		if b.requires {
+			gb := b.ensureGrad()
+			for i := range gb.Data {
+				gb.Data[i] += out.Grad.Data[i] * a.Value.Data[i]
+			}
+		}
+	}
+	return g.add(out)
+}
+
+// Scale returns a * s for a constant scalar s.
+func Scale(a *Node, s float64) *Node {
+	out := &Node{Value: tensor.Scale(a.Value, s), requires: a.requires}
+	out.back = func() {
+		if a.requires {
+			tensor.AxpyInPlace(a.ensureGrad(), s, out.Grad)
+		}
+	}
+	return a.graph.add(out)
+}
+
+// AddScalar returns a + s elementwise for a constant scalar s.
+func AddScalar(a *Node, s float64) *Node {
+	out := &Node{Value: a.Value.Map(func(x float64) float64 { return x + s }), requires: a.requires}
+	out.back = func() {
+		if a.requires {
+			tensor.AddInPlace(a.ensureGrad(), out.Grad)
+		}
+	}
+	return a.graph.add(out)
+}
+
+// ---- Linear algebra ----
+
+// MatMul returns the matrix product of two rank-2 nodes.
+func MatMul(a, b *Node) *Node {
+	g := sameGraph("MatMul", a, b)
+	out := &Node{Value: tensor.MatMul(a.Value, b.Value), requires: a.requires || b.requires}
+	out.back = func() {
+		// dL/dA = dL/dOut · Bᵀ ; dL/dB = Aᵀ · dL/dOut
+		if a.requires {
+			tensor.AddInPlace(a.ensureGrad(), tensor.MatMul(out.Grad, tensor.Transpose(b.Value)))
+		}
+		if b.requires {
+			tensor.AddInPlace(b.ensureGrad(), tensor.MatMul(tensor.Transpose(a.Value), out.Grad))
+		}
+	}
+	return g.add(out)
+}
+
+// AddRowVector adds a rank-1 bias node v to every row of rank-2 node a.
+func AddRowVector(a, v *Node) *Node {
+	g := sameGraph("AddRowVector", a, v)
+	out := &Node{Value: tensor.AddRowVector(a.Value, v.Value), requires: a.requires || v.requires}
+	out.back = func() {
+		if a.requires {
+			tensor.AddInPlace(a.ensureGrad(), out.Grad)
+		}
+		if v.requires {
+			gv := v.ensureGrad()
+			m, n := out.Grad.Dim(0), out.Grad.Dim(1)
+			for i := 0; i < m; i++ {
+				for j := 0; j < n; j++ {
+					gv.Data[j] += out.Grad.Data[i*n+j]
+				}
+			}
+		}
+	}
+	return g.add(out)
+}
+
+// Transpose returns the transpose of a rank-2 node.
+func Transpose(a *Node) *Node {
+	out := &Node{Value: tensor.Transpose(a.Value), requires: a.requires}
+	out.back = func() {
+		if a.requires {
+			tensor.AddInPlace(a.ensureGrad(), tensor.Transpose(out.Grad))
+		}
+	}
+	return a.graph.add(out)
+}
+
+// ---- Activations ----
+
+// Sigmoid applies the logistic function elementwise.
+func Sigmoid(a *Node) *Node {
+	val := a.Value.Map(func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
+	out := &Node{Value: val, requires: a.requires}
+	out.back = func() {
+		if a.requires {
+			ga := a.ensureGrad()
+			for i := range ga.Data {
+				s := val.Data[i]
+				ga.Data[i] += out.Grad.Data[i] * s * (1 - s)
+			}
+		}
+	}
+	return a.graph.add(out)
+}
+
+// Tanh applies the hyperbolic tangent elementwise.
+func Tanh(a *Node) *Node {
+	val := a.Value.Map(math.Tanh)
+	out := &Node{Value: val, requires: a.requires}
+	out.back = func() {
+		if a.requires {
+			ga := a.ensureGrad()
+			for i := range ga.Data {
+				th := val.Data[i]
+				ga.Data[i] += out.Grad.Data[i] * (1 - th*th)
+			}
+		}
+	}
+	return a.graph.add(out)
+}
+
+// ReLU applies max(0, x) elementwise.
+func ReLU(a *Node) *Node {
+	val := a.Value.Map(func(x float64) float64 {
+		if x > 0 {
+			return x
+		}
+		return 0
+	})
+	out := &Node{Value: val, requires: a.requires}
+	out.back = func() {
+		if a.requires {
+			ga := a.ensureGrad()
+			for i := range ga.Data {
+				if a.Value.Data[i] > 0 {
+					ga.Data[i] += out.Grad.Data[i]
+				}
+			}
+		}
+	}
+	return a.graph.add(out)
+}
+
+// Sqrt applies the square root elementwise. Inputs must be positive (the
+// derivative diverges at zero); callers add an epsilon where needed.
+func Sqrt(a *Node) *Node {
+	val := a.Value.Map(math.Sqrt)
+	out := &Node{Value: val, requires: a.requires}
+	out.back = func() {
+		if a.requires {
+			ga := a.ensureGrad()
+			for i := range ga.Data {
+				ga.Data[i] += out.Grad.Data[i] * 0.5 / val.Data[i]
+			}
+		}
+	}
+	return a.graph.add(out)
+}
+
+// Softplus applies log(1+e^x) elementwise — a smooth non-negativity map used
+// for learnable gain parameters.
+func Softplus(a *Node) *Node {
+	val := a.Value.Map(func(x float64) float64 {
+		if x > 30 {
+			return x // avoids overflow; log(1+e^x) ≈ x
+		}
+		return math.Log1p(math.Exp(x))
+	})
+	out := &Node{Value: val, requires: a.requires}
+	out.back = func() {
+		if a.requires {
+			ga := a.ensureGrad()
+			for i := range ga.Data {
+				ga.Data[i] += out.Grad.Data[i] / (1 + math.Exp(-a.Value.Data[i]))
+			}
+		}
+	}
+	return a.graph.add(out)
+}
+
+// MulScalarNode multiplies every element of a by the single-element node s.
+func MulScalarNode(a, s *Node) *Node {
+	g := sameGraph("MulScalarNode", a, s)
+	if s.Value.Size() != 1 {
+		panic(fmt.Sprintf("autodiff: MulScalarNode scalar has shape %v", s.Value.Shape()))
+	}
+	sv := s.Value.Data[0]
+	out := &Node{Value: tensor.Scale(a.Value, sv), requires: a.requires || s.requires}
+	out.back = func() {
+		if a.requires {
+			tensor.AxpyInPlace(a.ensureGrad(), sv, out.Grad)
+		}
+		if s.requires {
+			gs := s.ensureGrad()
+			for i := range out.Grad.Data {
+				gs.Data[0] += out.Grad.Data[i] * a.Value.Data[i]
+			}
+		}
+	}
+	return g.add(out)
+}
+
+// SoftmaxRows applies a numerically stable softmax independently to each row
+// of a rank-2 node (or to the whole of a rank-1 node).
+func SoftmaxRows(a *Node) *Node {
+	var rows, cols int
+	switch a.Value.Rank() {
+	case 1:
+		rows, cols = 1, a.Value.Dim(0)
+	case 2:
+		rows, cols = a.Value.Dim(0), a.Value.Dim(1)
+	default:
+		panic(fmt.Sprintf("autodiff: SoftmaxRows requires rank 1 or 2, got %v", a.Value.Shape()))
+	}
+	val := tensor.New(a.Value.Shape()...)
+	for r := 0; r < rows; r++ {
+		row := a.Value.Data[r*cols : (r+1)*cols]
+		max := math.Inf(-1)
+		for _, x := range row {
+			if x > max {
+				max = x
+			}
+		}
+		sum := 0.0
+		for j, x := range row {
+			e := math.Exp(x - max)
+			val.Data[r*cols+j] = e
+			sum += e
+		}
+		for j := 0; j < cols; j++ {
+			val.Data[r*cols+j] /= sum
+		}
+	}
+	out := &Node{Value: val, requires: a.requires}
+	out.back = func() {
+		if !a.requires {
+			return
+		}
+		ga := a.ensureGrad()
+		for r := 0; r < rows; r++ {
+			// dx_i = s_i * (dy_i - Σ_j dy_j s_j)
+			dot := 0.0
+			for j := 0; j < cols; j++ {
+				dot += out.Grad.Data[r*cols+j] * val.Data[r*cols+j]
+			}
+			for j := 0; j < cols; j++ {
+				s := val.Data[r*cols+j]
+				ga.Data[r*cols+j] += s * (out.Grad.Data[r*cols+j] - dot)
+			}
+		}
+	}
+	return a.graph.add(out)
+}
+
+// Dropout zeroes each element with probability p during training and scales
+// the survivors by 1/(1-p) (inverted dropout). With train=false it is the
+// identity.
+func Dropout(a *Node, p float64, train bool, rng *rand.Rand) *Node {
+	if !train || p <= 0 {
+		return a
+	}
+	if p >= 1 {
+		panic("autodiff: Dropout probability must be < 1")
+	}
+	mask := tensor.New(a.Value.Shape()...)
+	scale := 1 / (1 - p)
+	for i := range mask.Data {
+		if rng.Float64() >= p {
+			mask.Data[i] = scale
+		}
+	}
+	out := &Node{Value: tensor.Mul(a.Value, mask), requires: a.requires}
+	out.back = func() {
+		if a.requires {
+			ga := a.ensureGrad()
+			for i := range ga.Data {
+				ga.Data[i] += out.Grad.Data[i] * mask.Data[i]
+			}
+		}
+	}
+	return a.graph.add(out)
+}

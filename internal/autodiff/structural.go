@@ -1,0 +1,289 @@
+package autodiff
+
+import (
+	"fmt"
+
+	"ovs/internal/tensor"
+)
+
+// Sum reduces a node to a scalar (shape [1]) by summing all elements.
+func Sum(a *Node) *Node {
+	out := &Node{Value: tensor.FromSlice([]float64{a.Value.Sum()}, 1), requires: a.requires}
+	out.back = func() {
+		if a.requires {
+			ga := a.ensureGrad()
+			g := out.Grad.Data[0]
+			for i := range ga.Data {
+				ga.Data[i] += g
+			}
+		}
+	}
+	return a.graph.add(out)
+}
+
+// Mean reduces a node to a scalar (shape [1]) by averaging all elements.
+func Mean(a *Node) *Node {
+	return Scale(Sum(a), 1/float64(a.Value.Size()))
+}
+
+// MSE returns the scalar mean squared error between pred and a constant
+// target tensor. This is the main loss of Eq. 12 (up to the mean/sum
+// convention, which is absorbed by the learning rate).
+func MSE(pred *Node, target *tensor.Tensor) *Node {
+	if !pred.Value.SameShape(target) {
+		panic(fmt.Sprintf("autodiff: MSE shape mismatch %v vs %v", pred.Value.Shape(), target.Shape()))
+	}
+	diff := Sub(pred, pred.graph.Const(target))
+	return Mean(Mul(diff, diff))
+}
+
+// Row extracts row i of a rank-2 node as a rank-1 node.
+func Row(a *Node, i int) *Node {
+	if a.Value.Rank() != 2 {
+		panic(fmt.Sprintf("autodiff: Row requires rank-2, got %v", a.Value.Shape()))
+	}
+	n := a.Value.Dim(1)
+	out := &Node{Value: a.Value.Row(i), requires: a.requires}
+	out.back = func() {
+		if a.requires {
+			ga := a.ensureGrad()
+			for j := 0; j < n; j++ {
+				ga.Data[i*n+j] += out.Grad.Data[j]
+			}
+		}
+	}
+	return a.graph.add(out)
+}
+
+// StackRows stacks rank-1 nodes of equal length into a rank-2 node, one row
+// per input node.
+func StackRows(rows []*Node) *Node {
+	if len(rows) == 0 {
+		panic("autodiff: StackRows requires at least one row")
+	}
+	g := sameGraph("StackRows", rows...)
+	n := rows[0].Value.Dim(0)
+	req := false
+	val := tensor.New(len(rows), n)
+	for i, r := range rows {
+		if r.Value.Rank() != 1 || r.Value.Dim(0) != n {
+			panic(fmt.Sprintf("autodiff: StackRows row %d shape %v, want [%d]", i, r.Value.Shape(), n))
+		}
+		copy(val.Data[i*n:(i+1)*n], r.Value.Data)
+		req = req || r.requires
+	}
+	out := &Node{Value: val, requires: req}
+	out.back = func() {
+		for i, r := range rows {
+			if !r.requires {
+				continue
+			}
+			gr := r.ensureGrad()
+			for j := 0; j < n; j++ {
+				gr.Data[j] += out.Grad.Data[i*n+j]
+			}
+		}
+	}
+	return g.add(out)
+}
+
+// ConcatVec concatenates rank-1 nodes into one long rank-1 node.
+func ConcatVec(parts ...*Node) *Node {
+	if len(parts) == 0 {
+		panic("autodiff: ConcatVec requires at least one part")
+	}
+	g := sameGraph("ConcatVec", parts...)
+	total := 0
+	req := false
+	for _, p := range parts {
+		if p.Value.Rank() != 1 {
+			panic(fmt.Sprintf("autodiff: ConcatVec requires rank-1 parts, got %v", p.Value.Shape()))
+		}
+		total += p.Value.Dim(0)
+		req = req || p.requires
+	}
+	val := tensor.New(total)
+	off := 0
+	for _, p := range parts {
+		copy(val.Data[off:], p.Value.Data)
+		off += p.Value.Dim(0)
+	}
+	out := &Node{Value: val, requires: req}
+	out.back = func() {
+		off := 0
+		for _, p := range parts {
+			n := p.Value.Dim(0)
+			if p.requires {
+				gp := p.ensureGrad()
+				for j := 0; j < n; j++ {
+					gp.Data[j] += out.Grad.Data[off+j]
+				}
+			}
+			off += n
+		}
+	}
+	return g.add(out)
+}
+
+// SliceVec extracts elements [lo, hi) of a rank-1 node.
+func SliceVec(a *Node, lo, hi int) *Node {
+	if a.Value.Rank() != 1 {
+		panic(fmt.Sprintf("autodiff: SliceVec requires rank-1, got %v", a.Value.Shape()))
+	}
+	if lo < 0 || hi > a.Value.Dim(0) || lo >= hi {
+		panic(fmt.Sprintf("autodiff: SliceVec bounds [%d,%d) invalid for length %d", lo, hi, a.Value.Dim(0)))
+	}
+	val := tensor.New(hi - lo)
+	copy(val.Data, a.Value.Data[lo:hi])
+	out := &Node{Value: val, requires: a.requires}
+	out.back = func() {
+		if a.requires {
+			ga := a.ensureGrad()
+			for j := lo; j < hi; j++ {
+				ga.Data[j] += out.Grad.Data[j-lo]
+			}
+		}
+	}
+	return a.graph.add(out)
+}
+
+// SumNodes adds any number of same-shaped nodes elementwise. It is the
+// aggregation step of Eq. 7 (summing per-route embeddings into the system
+// embedding).
+func SumNodes(parts ...*Node) *Node {
+	if len(parts) == 0 {
+		panic("autodiff: SumNodes requires at least one part")
+	}
+	out := parts[0]
+	for _, p := range parts[1:] {
+		out = Add(out, p)
+	}
+	return out
+}
+
+// Reshape returns a view of a with a new shape. Gradients flow through
+// unchanged (the backing layout is identical).
+func Reshape(a *Node, shape ...int) *Node {
+	out := &Node{Value: a.Value.Reshape(shape...), requires: a.requires}
+	out.back = func() {
+		if a.requires {
+			ga := a.ensureGrad()
+			for i := range ga.Data {
+				ga.Data[i] += out.Grad.Data[i]
+			}
+		}
+	}
+	return a.graph.add(out)
+}
+
+// LagAttend computes the lag-attention contraction at the heart of the
+// TOD-volume mapping (Eq. 4):
+//
+//	out[t] = Σ_{w=0..W-1} alpha[w, t] * p[t-w]
+//
+// where alpha is rank-2 (W × T) and p is rank-1 (T). Indices t-w < 0 refer
+// to traffic before the horizon and contribute zero.
+func LagAttend(alpha, p *Node) *Node {
+	g := sameGraph("LagAttend", alpha, p)
+	if alpha.Value.Rank() != 2 || p.Value.Rank() != 1 {
+		panic(fmt.Sprintf("autodiff: LagAttend requires (rank-2, rank-1), got %v, %v", alpha.Value.Shape(), p.Value.Shape()))
+	}
+	w, tt := alpha.Value.Dim(0), alpha.Value.Dim(1)
+	if p.Value.Dim(0) != tt {
+		panic(fmt.Sprintf("autodiff: LagAttend time dims differ: alpha %v vs p %v", alpha.Value.Shape(), p.Value.Shape()))
+	}
+	val := tensor.New(tt)
+	for t := 0; t < tt; t++ {
+		s := 0.0
+		for lag := 0; lag < w && lag <= t; lag++ {
+			s += alpha.Value.Data[lag*tt+t] * p.Value.Data[t-lag]
+		}
+		val.Data[t] = s
+	}
+	out := &Node{Value: val, requires: alpha.requires || p.requires}
+	out.back = func() {
+		if alpha.requires {
+			ga := alpha.ensureGrad()
+			for t := 0; t < tt; t++ {
+				for lag := 0; lag < w && lag <= t; lag++ {
+					ga.Data[lag*tt+t] += out.Grad.Data[t] * p.Value.Data[t-lag]
+				}
+			}
+		}
+		if p.requires {
+			gp := p.ensureGrad()
+			for t := 0; t < tt; t++ {
+				for lag := 0; lag < w && lag <= t; lag++ {
+					gp.Data[t-lag] += out.Grad.Data[t] * alpha.Value.Data[lag*tt+t]
+				}
+			}
+		}
+	}
+	return g.add(out)
+}
+
+// Conv1DSame applies a multi-channel 1-D convolution with "same" zero
+// padding along the time axis. Input x is (Cin × T), kernels is
+// (Cout × Cin × K) with K odd, bias is (Cout). Output is (Cout × T).
+// This realizes the 1×3 convolution layers of the attention network
+// (Eqs. 5-6, Table IV).
+func Conv1DSame(x, kernels, bias *Node) *Node {
+	g := sameGraph("Conv1DSame", x, kernels, bias)
+	if x.Value.Rank() != 2 || kernels.Value.Rank() != 3 || bias.Value.Rank() != 1 {
+		panic(fmt.Sprintf("autodiff: Conv1DSame shapes x=%v kernels=%v bias=%v", x.Value.Shape(), kernels.Value.Shape(), bias.Value.Shape()))
+	}
+	cin, tt := x.Value.Dim(0), x.Value.Dim(1)
+	cout, cin2, k := kernels.Value.Dim(0), kernels.Value.Dim(1), kernels.Value.Dim(2)
+	if cin != cin2 || bias.Value.Dim(0) != cout {
+		panic(fmt.Sprintf("autodiff: Conv1DSame channel mismatch x=%v kernels=%v bias=%v", x.Value.Shape(), kernels.Value.Shape(), bias.Value.Shape()))
+	}
+	if k%2 == 0 {
+		panic("autodiff: Conv1DSame requires an odd kernel width")
+	}
+	half := k / 2
+	val := tensor.New(cout, tt)
+	for co := 0; co < cout; co++ {
+		for t := 0; t < tt; t++ {
+			s := bias.Value.Data[co]
+			for ci := 0; ci < cin; ci++ {
+				for kk := 0; kk < k; kk++ {
+					src := t + kk - half
+					if src < 0 || src >= tt {
+						continue
+					}
+					s += kernels.Value.Data[(co*cin+ci)*k+kk] * x.Value.Data[ci*tt+src]
+				}
+			}
+			val.Data[co*tt+t] = s
+		}
+	}
+	out := &Node{Value: val, requires: x.requires || kernels.requires || bias.requires}
+	out.back = func() {
+		for co := 0; co < cout; co++ {
+			for t := 0; t < tt; t++ {
+				gOut := out.Grad.Data[co*tt+t]
+				if gOut == 0 {
+					continue
+				}
+				if bias.requires {
+					bias.ensureGrad().Data[co] += gOut
+				}
+				for ci := 0; ci < cin; ci++ {
+					for kk := 0; kk < k; kk++ {
+						src := t + kk - half
+						if src < 0 || src >= tt {
+							continue
+						}
+						if kernels.requires {
+							kernels.ensureGrad().Data[(co*cin+ci)*k+kk] += gOut * x.Value.Data[ci*tt+src]
+						}
+						if x.requires {
+							x.ensureGrad().Data[ci*tt+src] += gOut * kernels.Value.Data[(co*cin+ci)*k+kk]
+						}
+					}
+				}
+			}
+		}
+	}
+	return g.add(out)
+}

@@ -1,0 +1,137 @@
+package baselines
+
+import (
+	"fmt"
+
+	"ovs/internal/tensor"
+)
+
+// EM implements the expectation-maximization baseline [19], [33] under a
+// linear-Gaussian model of the speed generation:
+//
+//	g_t ~ N(μ, τ² I)          (TOD prior, per interval)
+//	v_t = B g_t + ε,  ε ~ N(0, σ² I)
+//
+// B is estimated from the generated samples by ridge regression; the E-step
+// computes the Gaussian posterior mean of each interval's TOD given the
+// observed speed, and the M-step re-estimates the prior mean from the
+// posteriors. Iterating maximizes the likelihood of the observed speeds.
+type EM struct {
+	// Iterations of EM (default 15).
+	Iterations int
+	// Lambda is the ridge regularizer for B.
+	Lambda float64
+}
+
+// Name returns the paper's method label.
+func (m *EM) Name() string { return "EM" }
+
+// Recover runs the EM loop.
+func (m *EM) Recover(ctx *Context) (*tensor.Tensor, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ctx.Samples) == 0 {
+		return nil, fmt.Errorf("baselines: EM requires training samples")
+	}
+	iters := m.Iterations
+	if iters <= 0 {
+		iters = 15
+	}
+	lambda := m.Lambda
+	if lambda <= 0 {
+		lambda = 1e-2
+	}
+	n, mm, t := ctx.N(), ctx.M(), ctx.T
+
+	// Estimate B: speed columns regressed on TOD columns.
+	rows := len(ctx.Samples) * t
+	x := tensor.New(rows, n)
+	y := tensor.New(rows, mm)
+	r := 0
+	for _, s := range ctx.Samples {
+		for tt := 0; tt < t; tt++ {
+			for i := 0; i < n; i++ {
+				x.Set(s.G.At(i, tt), r, i)
+			}
+			for j := 0; j < mm; j++ {
+				y.Set(s.Speed.At(j, tt), r, j)
+			}
+			r++
+		}
+	}
+	w, err := tensor.Ridge(x, y, lambda) // (N × M)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: EM regression: %w", err)
+	}
+	b := tensor.Transpose(w) // (M × N): v = B g
+
+	// Residual variance σ² and prior (μ, τ²) from the samples.
+	pred := tensor.MatMul(x, w)
+	sigma2 := tensor.MSE(pred, y)
+	if sigma2 < 1e-6 {
+		sigma2 = 1e-6
+	}
+	mu := tensor.New(n)
+	tau2 := 0.0
+	for _, s := range ctx.Samples {
+		for i := 0; i < n; i++ {
+			mu.Data[i] += s.G.Row(i).Mean()
+		}
+	}
+	for i := range mu.Data {
+		mu.Data[i] /= float64(len(ctx.Samples))
+	}
+	for _, s := range ctx.Samples {
+		for i := 0; i < n; i++ {
+			for tt := 0; tt < t; tt++ {
+				d := s.G.At(i, tt) - mu.Data[i]
+				tau2 += d * d
+			}
+		}
+	}
+	tau2 /= float64(len(ctx.Samples) * n * t)
+	if tau2 < 1e-6 {
+		tau2 = 1e-6
+	}
+
+	// Precompute S = τ² B Bᵀ + σ² I (M × M), reused in every E-step solve.
+	bbT := tensor.MatMul(b, tensor.Transpose(b))
+	s := tensor.Scale(bbT, tau2)
+	for j := 0; j < mm; j++ {
+		s.Data[j*mm+j] += sigma2
+	}
+
+	g := tensor.New(n, t)
+	for iter := 0; iter < iters; iter++ {
+		// E-step: posterior mean per interval.
+		bmu := tensor.MatVec(b, mu) // (M)
+		for tt := 0; tt < t; tt++ {
+			resid := tensor.New(mm)
+			for j := 0; j < mm; j++ {
+				resid.Data[j] = ctx.SpeedObs.At(j, tt) - bmu.Data[j]
+			}
+			z, err := tensor.Solve(s, resid)
+			if err != nil {
+				return nil, fmt.Errorf("baselines: EM solve interval %d: %w", tt, err)
+			}
+			// m_t = μ + τ² Bᵀ z
+			corr := tensor.MatVec(tensor.Transpose(b), z)
+			for i := 0; i < n; i++ {
+				v := mu.Data[i] + tau2*corr.Data[i]
+				if v < 0 {
+					v = 0
+				}
+				if v > ctx.MaxTrips {
+					v = ctx.MaxTrips
+				}
+				g.Set(v, i, tt)
+			}
+		}
+		// M-step: update the prior mean from the posterior means.
+		for i := 0; i < n; i++ {
+			mu.Data[i] = g.Row(i).Mean()
+		}
+	}
+	return g, nil
+}

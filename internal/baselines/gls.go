@@ -1,0 +1,120 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ovs/internal/autodiff"
+	"ovs/internal/nn"
+	"ovs/internal/tensor"
+)
+
+// GLS implements the generalized-least-squares baseline [3]-[6]: a linear
+// assignment matrix A maps TOD to link volume (estimated by ridge-regularized
+// least squares on the generated samples), and a small neural network is
+// stacked behind it to predict speed from volume. Recovery then optimizes a
+// TOD tensor through the frozen chain to match the observed speed.
+type GLS struct {
+	// Lambda is the ridge regularizer for the assignment matrix.
+	Lambda float64
+	// Hidden is the width of the volume→speed network.
+	Hidden int
+	// TrainEpochs trains the volume→speed network; FitEpochs optimizes the
+	// recovered TOD.
+	TrainEpochs, FitEpochs int
+	// LR is the Adam learning rate.
+	LR float64
+}
+
+// Name returns the paper's method label.
+func (m *GLS) Name() string { return "GLS" }
+
+func (m *GLS) defaults() GLS {
+	d := *m
+	if d.Lambda <= 0 {
+		d.Lambda = 1e-2
+	}
+	if d.Hidden <= 0 {
+		d.Hidden = 32
+	}
+	if d.TrainEpochs <= 0 {
+		d.TrainEpochs = 60
+	}
+	if d.FitEpochs <= 0 {
+		d.FitEpochs = 120
+	}
+	if d.LR <= 0 {
+		d.LR = 0.02
+	}
+	return d
+}
+
+// Recover estimates A, trains the speed net, and inverts the chain.
+func (m *GLS) Recover(ctx *Context) (*tensor.Tensor, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ctx.Samples) == 0 {
+		return nil, fmt.Errorf("baselines: GLS requires training samples")
+	}
+	cfg := m.defaults()
+	n, mm, t := ctx.N(), ctx.M(), ctx.T
+
+	// 1. Assignment matrix by ridge least squares on per-interval columns.
+	rows := len(ctx.Samples) * t
+	x := tensor.New(rows, n)
+	y := tensor.New(rows, mm)
+	r := 0
+	for _, s := range ctx.Samples {
+		for tt := 0; tt < t; tt++ {
+			for i := 0; i < n; i++ {
+				x.Set(s.G.At(i, tt), r, i)
+			}
+			for j := 0; j < mm; j++ {
+				y.Set(s.Volume.At(j, tt), r, j)
+			}
+			r++
+		}
+	}
+	assign, err := tensor.Ridge(x, y, cfg.Lambda) // (N × M)
+	if err != nil {
+		return nil, fmt.Errorf("baselines: GLS assignment: %w", err)
+	}
+
+	// 2. Volume→speed network on per-interval columns.
+	rng := rand.New(rand.NewSource(ctx.Seed + 11))
+	volNorm, speedNorm := sampleNorms(ctx.Samples)
+	net := nn.MLP(rng, "gls.v2s", []int{mm, cfg.Hidden, mm}, nn.ActReLU, nn.ActSigmoid)
+	opt := nn.NewAdam(cfg.LR)
+	for e := 0; e < cfg.TrainEpochs; e++ {
+		for _, s := range ctx.Samples {
+			g := autodiff.NewGraph()
+			in := tensor.Scale(tensor.Transpose(s.Volume), 1/volNorm) // (T × M)
+			target := tensor.Scale(tensor.Transpose(s.Speed), 1/speedNorm)
+			out := net.Forward(g.Const(in), true)
+			loss := autodiff.MSE(out, target)
+			g.Backward(loss)
+			opt.Step(net.Params())
+			nn.ZeroGrads(net.Params())
+		}
+	}
+
+	// 3. Recover TOD by gradient descent through the frozen chain.
+	gParam := autodiff.NewParameter("gls.G", tensor.RandUniform(rng, 0, ctx.MaxTrips/4, n, t))
+	fitOpt := nn.NewAdam(cfg.LR * 2)
+	obs := tensor.Scale(ctx.SpeedObs, 1/speedNorm)
+	assignT := tensor.Transpose(assign) // (M × N)
+	for e := 0; e < cfg.FitEpochs; e++ {
+		g := autodiff.NewGraph()
+		gn := g.Param(gParam)
+		vol := autodiff.MatMul(g.Const(assignT), gn) // (M × T)
+		volIn := autodiff.Transpose(autodiff.Scale(vol, 1/volNorm))
+		speed := net.Forward(volIn, false) // (T × M)
+		loss := autodiff.MSE(autodiff.Transpose(speed), obs)
+		g.Backward(loss)
+		fitOpt.Step([]*autodiff.Parameter{gParam})
+		gParam.ZeroGrad()
+		clampInPlace(gParam.Value, 0, ctx.MaxTrips)
+	}
+	return gParam.Value.Clone(), nil
+}

@@ -1,0 +1,72 @@
+package baselines
+
+import (
+	"fmt"
+	"math/rand"
+
+	"ovs/internal/autodiff"
+	"ovs/internal/nn"
+	"ovs/internal/tensor"
+)
+
+// NN implements the direct-regression baseline [34] as the paper describes
+// it: a network of two fully connected layers that predicts the TOD tensor
+// from the speed tensor. The whole (M × T) speed observation is flattened
+// into one input vector and mapped to the flattened (N × T) TOD — one
+// training example per generated sample.
+type NN struct {
+	// Hidden width (default 64).
+	Hidden int
+	// Epochs over the sample set (default 80).
+	Epochs int
+	// LR is the Adam learning rate.
+	LR float64
+}
+
+// Name returns the paper's method label.
+func (m *NN) Name() string { return "NN" }
+
+// Recover trains speed→TOD regression and applies it to the observation.
+func (m *NN) Recover(ctx *Context) (*tensor.Tensor, error) {
+	if err := ctx.Validate(); err != nil {
+		return nil, err
+	}
+	if len(ctx.Samples) == 0 {
+		return nil, fmt.Errorf("baselines: NN requires training samples")
+	}
+	hidden := m.Hidden
+	if hidden <= 0 {
+		hidden = 64
+	}
+	epochs := m.Epochs
+	if epochs <= 0 {
+		epochs = 80
+	}
+	lr := m.LR
+	if lr <= 0 {
+		lr = 0.01
+	}
+	n, mm, t := ctx.N(), ctx.M(), ctx.T
+	_, speedNorm := sampleNorms(ctx.Samples)
+
+	rng := rand.New(rand.NewSource(ctx.Seed + 13))
+	net := nn.MLP(rng, "nnbase", []int{mm * t, hidden, n * t}, nn.ActSigmoid, nn.ActSigmoid)
+	opt := nn.NewAdam(lr)
+	flatten := func(speed *tensor.Tensor) *tensor.Tensor {
+		return tensor.Scale(speed, 1/speedNorm).Reshape(1, mm*t)
+	}
+	for e := 0; e < epochs; e++ {
+		for _, s := range ctx.Samples {
+			g := autodiff.NewGraph()
+			out := net.Forward(g.Const(flatten(s.Speed)), true)
+			target := tensor.Scale(s.G, 1/ctx.MaxTrips).Reshape(1, n*t)
+			loss := autodiff.MSE(out, target)
+			g.Backward(loss)
+			opt.Step(net.Params())
+			nn.ZeroGrads(net.Params())
+		}
+	}
+	g := autodiff.NewGraph()
+	out := net.Forward(g.Const(flatten(ctx.SpeedObs)), false)
+	return tensor.Scale(out.Value.Clone().Reshape(n, t), ctx.MaxTrips), nil
+}

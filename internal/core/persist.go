@@ -1,0 +1,30 @@
+package core
+
+import (
+	"fmt"
+	"io"
+
+	"ovs/internal/nn"
+)
+
+// Save writes all trainable parameters of the model (all three modules) as
+// JSON. The TOD generator's Gaussian seeds are not saved; a loaded model is
+// meant to be re-fitted to a new observation, which is exactly the paper's
+// deployment story (train the mappings once per city, fit the generator per
+// observation window).
+func (m *Model) Save(w io.Writer) error {
+	if err := nn.SaveParams(w, m.Params()); err != nil {
+		return fmt.Errorf("core: save model: %w", err)
+	}
+	return nil
+}
+
+// Load restores parameters saved by Save into this model. The model must
+// have been constructed over an identical topology and configuration;
+// mismatched shapes are rejected.
+func (m *Model) Load(r io.Reader) error {
+	if err := nn.LoadParams(r, m.Params()); err != nil {
+		return fmt.Errorf("core: load model: %w", err)
+	}
+	return nil
+}

@@ -1,0 +1,280 @@
+package core
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ovs/internal/autodiff"
+	"ovs/internal/nn"
+	"ovs/internal/tensor"
+)
+
+// TrainV2S runs stage 1 of the Fig. 8 pipeline: fit the Volume-Speed
+// mapping on generated (volume, speed) pairs. It returns the per-epoch mean
+// loss curve.
+func (m *Model) TrainV2S(samples []Sample, epochs int) ([]float64, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: TrainV2S requires samples")
+	}
+	params := m.V2S.Params()
+	opt := nn.NewAdam(m.Cfg.LR)
+	history := make([]float64, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		total := 0.0
+		for _, s := range samples {
+			g := autodiff.NewGraph()
+			pred := m.V2S.MapSpeed(g, g.Const(s.Volume), true)
+			loss := autodiff.MSE(pred, s.Speed)
+			total += loss.Value.Data[0]
+			g.Backward(loss)
+			if m.Cfg.GradClip > 0 {
+				nn.ClipGrads(params, m.Cfg.GradClip)
+			}
+			opt.Step(params)
+			nn.ZeroGrads(params)
+		}
+		history = append(history, total/float64(len(samples)))
+	}
+	return history, nil
+}
+
+// TrainT2V runs stage 2: freeze Volume-Speed, fit TOD-Volume by passing
+// generated TOD through both mappings and comparing against the generated
+// speed (plus optional direct volume supervision weighted by
+// Cfg.VolumeLossWeight; the paper's protocol corresponds to weight 0).
+func (m *Model) TrainT2V(samples []Sample, epochs int) ([]float64, error) {
+	if len(samples) == 0 {
+		return nil, fmt.Errorf("core: TrainT2V requires samples")
+	}
+	params := m.T2V.Params()
+	opt := nn.NewAdam(m.Cfg.LR)
+	history := make([]float64, 0, epochs)
+	volNorm := 1.0 / m.Cfg.VolumeNorm
+	for e := 0; e < epochs; e++ {
+		total := 0.0
+		for _, s := range samples {
+			g := autodiff.NewGraph()
+			vol := m.T2V.MapVolume(g, g.Const(s.G), true)
+			// Volume-Speed runs in frozen inference mode: its parameters are
+			// simply absent from the optimized set.
+			speed := m.V2S.MapSpeed(g, vol, false)
+			loss := autodiff.MSE(speed, s.Speed)
+			if m.Cfg.VolumeLossWeight > 0 {
+				volLoss := autodiff.MSE(autodiff.Scale(vol, volNorm), tensor.Scale(s.Volume, volNorm))
+				loss = autodiff.Add(loss, autodiff.Scale(volLoss, m.Cfg.VolumeLossWeight))
+			}
+			total += loss.Value.Data[0]
+			g.Backward(loss)
+			if m.Cfg.GradClip > 0 {
+				nn.ClipGrads(params, m.Cfg.GradClip)
+			}
+			opt.Step(params)
+			nn.ZeroGrads(params)
+		}
+		history = append(history, total/float64(len(samples)))
+	}
+	return history, nil
+}
+
+// AuxData bundles the auxiliary observations of §IV-E / Table II. Nil
+// slices/tensors disable the corresponding term. Weights are the w_g, w_q
+// of Eq. 13.
+type AuxData struct {
+	// CensusSum[i] is the LEHD-like horizon-total trip count of OD i.
+	CensusSum    []float64
+	CensusWeight float64
+
+	// CameraLinks and CameraVolume give observed volumes on a sparse set of
+	// links; CameraVolume is (len(CameraLinks) × T).
+	CameraLinks  []int
+	CameraVolume *tensor.Tensor
+	CameraWeight float64
+
+	// TrajODIdx and TrajG give fleet-scaled TOD observations on a sparse set
+	// of OD pairs; TrajG is (len(TrajODIdx) × T).
+	TrajODIdx  []int
+	TrajG      *tensor.Tensor
+	TrajWeight float64
+
+	// LinkWeights, when non-nil (length M), weights each link's contribution
+	// to the main speed loss. Setting a link to 0 excludes it — the RQ3
+	// mechanism for links whose physics changed after training (road work):
+	// such links are detectable from data because their maximum observed
+	// speed sits far below the speed limit even in empty intervals.
+	LinkWeights []float64
+}
+
+// Fit runs the test stage: freeze TOD-Volume and Volume-Speed, optimize the
+// TOD generator so the end-to-end speed matches the observation (Eq. 12),
+// plus any auxiliary losses (Eq. 13). It returns the recovered TOD tensor
+// and the loss history.
+func (m *Model) Fit(speedObs *tensor.Tensor, epochs int, aux *AuxData) (*tensor.Tensor, []float64, error) {
+	if speedObs.Rank() != 2 || speedObs.Dim(0) != m.Topo.M || speedObs.Dim(1) != m.Topo.T {
+		return nil, nil, fmt.Errorf("core: Fit observation shape %v, want [%d %d]", speedObs.Shape(), m.Topo.M, m.Topo.T)
+	}
+	params := m.TODGen.Params()
+	opt := nn.NewAdam(m.Cfg.LR)
+	history := make([]float64, 0, epochs)
+	for e := 0; e < epochs; e++ {
+		g := autodiff.NewGraph()
+		tod := m.TODGen.Generate(g)
+		vol := m.T2V.MapVolume(g, tod, false)
+		speed := m.V2S.MapSpeed(g, vol, false)
+		var linkWeights []float64
+		if aux != nil {
+			linkWeights = aux.LinkWeights
+		}
+		loss := m.fitLoss(g, speed, speedObs, linkWeights)
+		if m.Cfg.SmoothWeight > 0 {
+			loss = autodiff.Add(loss, autodiff.Scale(m.smoothPenalty(g, tod), m.Cfg.SmoothWeight))
+		}
+		if aux != nil {
+			loss = autodiff.Add(loss, m.auxLoss(g, tod, vol, aux))
+		}
+		history = append(history, loss.Value.Data[0])
+		g.Backward(loss)
+		if m.Cfg.GradClip > 0 {
+			nn.ClipGrads(params, m.Cfg.GradClip)
+		}
+		opt.Step(params)
+		nn.ZeroGrads(params)
+	}
+	return m.GenerateTOD(), history, nil
+}
+
+// fitLoss is the main observation term of the test-time fit: plain MSE by
+// default, or a pseudo-Huber loss — δ²(√(1+(r/δ)²) − 1) — when RobustDelta
+// is set, which bounds the influence of links whose physics changed after
+// training (RQ3).
+func (m *Model) fitLoss(g *autodiff.Graph, speed *autodiff.Node, speedObs *tensor.Tensor, linkWeights []float64) *autodiff.Node {
+	var weights *tensor.Tensor
+	if linkWeights != nil {
+		if len(linkWeights) != m.Topo.M {
+			panic(fmt.Sprintf("core: %d link weights for %d links", len(linkWeights), m.Topo.M))
+		}
+		weights = tensor.New(m.Topo.M, m.Topo.T)
+		for j, w := range linkWeights {
+			for t := 0; t < m.Topo.T; t++ {
+				weights.Set(w, j, t)
+			}
+		}
+	}
+	delta := m.Cfg.RobustDelta
+	diff := autodiff.Sub(speed, g.Const(speedObs))
+	var cell *autodiff.Node
+	if delta <= 0 {
+		cell = autodiff.Mul(diff, diff)
+	} else {
+		scaled := autodiff.Scale(diff, 1/delta)
+		inner := autodiff.AddScalar(autodiff.Mul(scaled, scaled), 1)
+		cell = autodiff.Scale(autodiff.AddScalar(autodiff.Sqrt(inner), -1), delta*delta)
+	}
+	if weights != nil {
+		cell = autodiff.Mul(cell, g.Const(weights))
+	}
+	return autodiff.Mean(cell)
+}
+
+// smoothPenalty returns the mean squared successive-interval difference of
+// the TOD tensor in MaxTrips-normalized units.
+func (m *Model) smoothPenalty(g *autodiff.Graph, tod *autodiff.Node) *autodiff.Node {
+	t := m.Topo.T
+	if t < 2 {
+		return g.Const(tensor.New(1))
+	}
+	// Difference matrix D (T × T-1): (tod·D)[i,k] = tod[i,k+1] - tod[i,k].
+	d := tensor.New(t, t-1)
+	for k := 0; k < t-1; k++ {
+		d.Set(-1, k, k)
+		d.Set(1, k+1, k)
+	}
+	diff := autodiff.MatMul(autodiff.Scale(tod, 1/m.Cfg.MaxTrips), g.Const(d))
+	return autodiff.Mean(autodiff.Mul(diff, diff))
+}
+
+// auxLoss assembles the auxiliary terms of Eq. 13 on the current graph.
+func (m *Model) auxLoss(g *autodiff.Graph, tod, vol *autodiff.Node, aux *AuxData) *autodiff.Node {
+	zero := g.Const(tensor.New(1))
+	total := zero
+
+	// Census (TOD level, static): || Σ_t g_i - census_i ||² per OD,
+	// normalized by MaxTrips² so weights are unit-comparable.
+	if len(aux.CensusSum) > 0 && aux.CensusWeight > 0 {
+		if len(aux.CensusSum) != m.Topo.N {
+			panic(fmt.Sprintf("core: census length %d != N=%d", len(aux.CensusSum), m.Topo.N))
+		}
+		// Row sums of the TOD node: tod · 1_T.
+		ones := g.Const(tensor.Ones(m.Topo.T, 1))
+		sums := autodiff.MatMul(tod, ones) // (N × 1)
+		target := tensor.FromSlice(append([]float64(nil), aux.CensusSum...), m.Topo.N, 1)
+		norm := 1.0 / (m.Cfg.MaxTrips * float64(m.Topo.T))
+		diff := autodiff.Sub(autodiff.Scale(sums, norm), g.Const(tensor.Scale(target, norm)))
+		total = autodiff.Add(total, autodiff.Scale(autodiff.Mean(autodiff.Mul(diff, diff)), aux.CensusWeight))
+	}
+
+	// Cameras (volume level, dynamic): MSE on observed link rows.
+	if len(aux.CameraLinks) > 0 && aux.CameraWeight > 0 {
+		rows := make([]*autodiff.Node, len(aux.CameraLinks))
+		for r, j := range aux.CameraLinks {
+			rows[r] = autodiff.Row(vol, j)
+		}
+		pred := autodiff.Scale(autodiff.StackRows(rows), 1/m.Cfg.VolumeNorm)
+		obs := tensor.Scale(aux.CameraVolume, 1/m.Cfg.VolumeNorm)
+		total = autodiff.Add(total, autodiff.Scale(autodiff.MSE(pred, obs), aux.CameraWeight))
+	}
+
+	// Trajectories (TOD level, dynamic): MSE on observed OD rows.
+	if len(aux.TrajODIdx) > 0 && aux.TrajWeight > 0 {
+		rows := make([]*autodiff.Node, len(aux.TrajODIdx))
+		for r, i := range aux.TrajODIdx {
+			rows[r] = autodiff.Row(tod, i)
+		}
+		pred := autodiff.Scale(autodiff.StackRows(rows), 1/m.Cfg.MaxTrips)
+		obs := tensor.Scale(aux.TrajG, 1/m.Cfg.MaxTrips)
+		total = autodiff.Add(total, autodiff.Scale(autodiff.MSE(pred, obs), aux.TrajWeight))
+	}
+	return total
+}
+
+// FitBest runs Fit from `restarts` different TOD-generator seeds and keeps
+// the recovery with the lowest final loss. Restarting mitigates the
+// multiple-solutions issue of §I: distinct seeds explore different basins of
+// the speed-matching loss surface.
+func (m *Model) FitBest(speedObs *tensor.Tensor, epochs, restarts int, aux *AuxData) (*tensor.Tensor, []float64, error) {
+	if restarts <= 1 {
+		return m.Fit(speedObs, epochs, aux)
+	}
+	rng := rand.New(rand.NewSource(m.Cfg.Seed + 997))
+	var bestTOD *tensor.Tensor
+	var bestHist []float64
+	bestLoss := math.Inf(1)
+	for r := 0; r < restarts; r++ {
+		if r > 0 {
+			m.TODGen.Reseed(rng)
+		}
+		tod, hist, err := m.Fit(speedObs, epochs, aux)
+		if err != nil {
+			return nil, nil, err
+		}
+		if final := hist[len(hist)-1]; final < bestLoss {
+			bestLoss, bestTOD, bestHist = final, tod, hist
+		}
+	}
+	return bestTOD, bestHist, nil
+}
+
+// TrainFull is a convenience wrapper running the complete Fig. 8 pipeline:
+// stage-1 Volume-Speed training, stage-2 TOD-Volume training, then the
+// test-time fit against the observed speed (with optional restarts). It
+// returns the recovered TOD.
+func (m *Model) TrainFull(samples []Sample, speedObs *tensor.Tensor, v2sEpochs, t2vEpochs, fitEpochs int, aux *AuxData) (*tensor.Tensor, error) {
+	if _, err := m.TrainV2S(samples, v2sEpochs); err != nil {
+		return nil, err
+	}
+	if _, err := m.TrainT2V(samples, t2vEpochs); err != nil {
+		return nil, err
+	}
+	tod, _, err := m.FitBest(speedObs, fitEpochs, m.Cfg.FitRestarts, aux)
+	return tod, err
+}

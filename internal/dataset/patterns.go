@@ -1,0 +1,134 @@
+// Package dataset provides every data artifact the paper's evaluation
+// consumes: the five synthetic TOD patterns of Table VIII, city presets at
+// the scale of Table III with "taxi-derived" ground-truth TOD tensors, the
+// auxiliary census/camera/trajectory feeds of Table II, the Fig. 7
+// training-data generation loop, and the two case-study scenarios.
+package dataset
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+
+	"ovs/internal/tensor"
+)
+
+// Pattern names one of the five synthetic TOD generation patterns used for
+// both the synthetic comparison (Table VIII) and the training-stage TOD
+// sampling (each pattern contributing 20% of generated tensors).
+type Pattern int
+
+const (
+	// PatternRandom draws each cell uniformly from 1-20 vehicles/min.
+	PatternRandom Pattern = iota
+	// PatternIncreasing starts at 5 vehicles/min and adds 2 per interval.
+	PatternIncreasing
+	// PatternDecreasing starts at 20 vehicles/min and subtracts 2 per interval.
+	PatternDecreasing
+	// PatternGaussian draws cells from N(10, 4) vehicles/min.
+	PatternGaussian
+	// PatternPoisson draws cells from Poisson(λ=3) vehicles/min.
+	PatternPoisson
+)
+
+// AllPatterns lists the five patterns in paper order.
+var AllPatterns = []Pattern{PatternRandom, PatternIncreasing, PatternDecreasing, PatternGaussian, PatternPoisson}
+
+// String returns the paper's name for the pattern.
+func (p Pattern) String() string {
+	switch p {
+	case PatternRandom:
+		return "Random"
+	case PatternIncreasing:
+		return "Increasing"
+	case PatternDecreasing:
+		return "Decreasing"
+	case PatternGaussian:
+		return "Gaussian"
+	case PatternPoisson:
+		return "Poisson"
+	default:
+		return fmt.Sprintf("Pattern(%d)", int(p))
+	}
+}
+
+// TODConfig controls synthetic TOD generation.
+type TODConfig struct {
+	// Pairs is N_od, the number of OD pairs (rows).
+	Pairs int
+	// Intervals is T (columns).
+	Intervals int
+	// IntervalMinutes converts vehicles/min rates to per-interval counts
+	// (the paper uses 10-minute intervals).
+	IntervalMinutes float64
+	// Scale multiplies all counts; experiments use Scale < 1 to shrink
+	// simulated load while preserving pattern shape.
+	Scale float64
+}
+
+func (c TODConfig) withDefaults() TODConfig {
+	if c.IntervalMinutes <= 0 {
+		c.IntervalMinutes = 10
+	}
+	if c.Scale <= 0 {
+		c.Scale = 1
+	}
+	return c
+}
+
+// GenerateTOD draws a TOD tensor (Pairs × Intervals) following the pattern.
+// All rates are in vehicles/min before conversion to per-interval counts.
+func GenerateTOD(p Pattern, cfg TODConfig, rng *rand.Rand) *tensor.Tensor {
+	cfg = cfg.withDefaults()
+	if cfg.Pairs <= 0 || cfg.Intervals <= 0 {
+		panic(fmt.Sprintf("dataset: GenerateTOD needs positive dims, got %d×%d", cfg.Pairs, cfg.Intervals))
+	}
+	g := tensor.New(cfg.Pairs, cfg.Intervals)
+	perMin := cfg.IntervalMinutes * cfg.Scale
+	for i := 0; i < cfg.Pairs; i++ {
+		for t := 0; t < cfg.Intervals; t++ {
+			var rate float64
+			switch p {
+			case PatternRandom:
+				rate = 1 + rng.Float64()*19
+			case PatternIncreasing:
+				rate = 5 + 2*float64(t) + rng.NormFloat64()
+			case PatternDecreasing:
+				rate = 20 - 2*float64(t) + rng.NormFloat64()
+			case PatternGaussian:
+				rate = 10 + rng.NormFloat64()*2 // variance 4
+			case PatternPoisson:
+				rate = float64(poisson(rng, 3))
+			default:
+				panic(fmt.Sprintf("dataset: unknown pattern %d", p))
+			}
+			if rate < 0 {
+				rate = 0
+			}
+			g.Set(rate*perMin, i, t)
+		}
+	}
+	return g
+}
+
+// poisson samples a Poisson(λ) variate by Knuth's method (λ is small here).
+func poisson(rng *rand.Rand, lambda float64) int {
+	l := math.Exp(-lambda)
+	k := 0
+	p := 1.0
+	for {
+		p *= rng.Float64()
+		if p <= l {
+			return k
+		}
+		k++
+	}
+}
+
+// MixedTOD draws one TOD tensor with the pattern chosen uniformly from the
+// five patterns — the paper's training stage generates TOD tensors "with
+// every 20% of TOD tensors have a specific pattern".
+func MixedTOD(sampleIdx int, cfg TODConfig, rng *rand.Rand) *tensor.Tensor {
+	p := AllPatterns[sampleIdx%len(AllPatterns)]
+	return GenerateTOD(p, cfg, rng)
+}

@@ -1,0 +1,183 @@
+package experiment
+
+import (
+	"fmt"
+	"math/rand"
+	"strings"
+	"time"
+
+	"ovs/internal/dataset"
+	"ovs/internal/metrics"
+)
+
+func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
+
+// MethodResult is one row of a comparison table.
+type MethodResult struct {
+	Method  string
+	Metrics metrics.Triple
+	Elapsed time.Duration
+}
+
+// ComparisonResult is one dataset column group of Tables VI/VIII: all
+// methods evaluated on one environment.
+type ComparisonResult struct {
+	Dataset string
+	Rows    []MethodResult
+}
+
+// BestBaseline returns the lowest baseline value for the metric selector.
+func (c *ComparisonResult) BestBaseline(sel func(metrics.Triple) float64) float64 {
+	best := 0.0
+	first := true
+	for _, r := range c.Rows {
+		if r.Method == "OVS" {
+			continue
+		}
+		v := sel(r.Metrics)
+		if first || v < best {
+			best, first = v, false
+		}
+	}
+	return best
+}
+
+// OVSRow returns the OVS row, if present.
+func (c *ComparisonResult) OVSRow() (MethodResult, bool) {
+	for _, r := range c.Rows {
+		if r.Method == "OVS" {
+			return r, true
+		}
+	}
+	return MethodResult{}, false
+}
+
+// RunComparison evaluates the six baselines plus OVS on an environment.
+func RunComparison(env *Env, name string) (*ComparisonResult, error) {
+	out := &ComparisonResult{Dataset: name}
+	ctx := env.Context()
+	for _, m := range env.Methods() {
+		start := time.Now()
+		rec, err := m.Recover(ctx)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %s on %s: %w", m.Name(), name, err)
+		}
+		triple, err := env.Evaluate(rec)
+		if err != nil {
+			return nil, err
+		}
+		out.Rows = append(out.Rows, MethodResult{Method: m.Name(), Metrics: triple, Elapsed: time.Since(start)})
+	}
+	rec, _, elapsed, err := env.RunOVS(nil)
+	if err != nil {
+		return nil, err
+	}
+	triple, err := env.Evaluate(rec)
+	if err != nil {
+		return nil, err
+	}
+	out.Rows = append(out.Rows, MethodResult{Method: "OVS", Metrics: triple, Elapsed: elapsed})
+	return out, nil
+}
+
+// RunRealComparison reproduces Table VI: all methods on the Hangzhou, Porto
+// and Manhattan presets.
+func RunRealComparison(sc Scale, seed int64) ([]*ComparisonResult, error) {
+	var out []*ComparisonResult
+	for i, name := range dataset.RealCityNames {
+		city, err := dataset.ByName(name, dataset.CityOptions{ODPairs: sc.ODPairs, Seed: seed + int64(i)})
+		if err != nil {
+			return nil, err
+		}
+		env, err := NewEnv(city, sc, seed+10*int64(i))
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunComparison(env, name)
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RunSyntheticComparison reproduces Table VIII: all methods on the 3×3 grid
+// across the five TOD patterns.
+func RunSyntheticComparison(sc Scale, seed int64) ([]*ComparisonResult, error) {
+	var out []*ComparisonResult
+	for i, p := range dataset.AllPatterns {
+		env, err := NewSyntheticEnv(p, sc, seed+100*int64(i))
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunComparison(env, p.String())
+		if err != nil {
+			return nil, err
+		}
+		out = append(out, res)
+	}
+	return out, nil
+}
+
+// RenderComparison renders comparison results in the paper's table layout
+// (methods × datasets, three metrics per dataset, plus the Improve row).
+func RenderComparison(title string, results []*ComparisonResult) string {
+	var b strings.Builder
+	fmt.Fprintf(&b, "%s\n", title)
+	header := []string{"Method"}
+	for _, r := range results {
+		header = append(header, r.Dataset+" TOD", "vol", "speed")
+	}
+	rowsByMethod := map[string][]string{}
+	var order []string
+	for _, res := range results {
+		for _, row := range res.Rows {
+			if _, ok := rowsByMethod[row.Method]; !ok {
+				order = append(order, row.Method)
+				rowsByMethod[row.Method] = []string{row.Method}
+			}
+		}
+	}
+	for _, res := range results {
+		byMethod := map[string]MethodResult{}
+		for _, row := range res.Rows {
+			byMethod[row.Method] = row
+		}
+		for _, m := range order {
+			row, ok := byMethod[m]
+			if !ok {
+				rowsByMethod[m] = append(rowsByMethod[m], "-", "-", "-")
+				continue
+			}
+			rowsByMethod[m] = append(rowsByMethod[m],
+				fmt.Sprintf("%.2f", row.Metrics.TOD),
+				fmt.Sprintf("%.2f", row.Metrics.Volume),
+				fmt.Sprintf("%.2f", row.Metrics.Speed))
+		}
+	}
+	table := [][]string{header}
+	for _, m := range order {
+		table = append(table, rowsByMethod[m])
+	}
+	// Improve row: OVS vs best baseline per metric.
+	improve := []string{"Improve"}
+	for _, res := range results {
+		ovs, ok := res.OVSRow()
+		if !ok {
+			improve = append(improve, "-", "-", "-")
+			continue
+		}
+		for _, sel := range []func(metrics.Triple) float64{
+			func(t metrics.Triple) float64 { return t.TOD },
+			func(t metrics.Triple) float64 { return t.Volume },
+			func(t metrics.Triple) float64 { return t.Speed },
+		} {
+			best := res.BestBaseline(sel)
+			improve = append(improve, fmt.Sprintf("%.1f%%", 100*metrics.Improvement(sel(ovs.Metrics), best)))
+		}
+	}
+	table = append(table, improve)
+	b.WriteString(renderTable(table))
+	return b.String()
+}

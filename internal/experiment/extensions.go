@@ -1,0 +1,173 @@
+package experiment
+
+import (
+	"fmt"
+
+	"ovs/internal/core"
+	"ovs/internal/dataset"
+	"ovs/internal/metrics"
+	"ovs/internal/sim"
+	"ovs/internal/tensor"
+)
+
+// Extension experiments beyond the paper's evaluation section, covering the
+// design choices DESIGN.md calls out and the paper's stated future work.
+
+// RouteChoiceResult compares single-route OVS (the paper's simplification)
+// against the k-shortest route-split extension when the underlying traffic
+// actually spreads over routes (dynamic routing in the simulator) — the
+// "better modeling the relation between routes and TOD" the conclusion
+// names as future work.
+type RouteChoiceResult struct {
+	// RMSE triples for k=1 and k=2 OVS variants.
+	K1, K2 metrics.Triple
+}
+
+// RunRouteChoice builds an environment whose ground-truth traffic uses
+// dynamic (congestion-aware) routing, then recovers TOD with k=1 and k=2
+// route splits.
+func RunRouteChoice(sc Scale, seed int64) (*RouteChoiceResult, error) {
+	city := dataset.SyntheticGrid(sc.ODPairs, seed+3)
+	env, err := NewEnv(city, sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	// Re-simulate everything under dynamic routing so multiple routes per OD
+	// genuinely carry traffic.
+	dynCfg := env.SimCfg
+	dynCfg.Routing = sim.DynamicRouting
+	env.SimCfg = dynCfg
+	dynamicSim := sim.New(city.Net, dynCfg)
+	raw, err := dataset.Generate(dynamicSim, city, dataset.GenerateOptions{
+		Count: sc.Samples,
+		TOD: dataset.TODConfig{
+			Intervals:       sc.Intervals,
+			IntervalMinutes: sc.IntervalSec / 60,
+			Scale:           sc.TODScale,
+		},
+		ScaleJitter: [2]float64{0.5, 1.5},
+		Seed:        seed + 1,
+	})
+	if err != nil {
+		return nil, err
+	}
+	env.Samples = env.Samples[:0]
+	for _, s := range raw {
+		env.Samples = append(env.Samples, core.Sample{G: s.G, Volume: s.Volume, Speed: s.Speed})
+	}
+	gtRes, err := dynamicSim.Run(sim.Demand{ODs: city.ODs, G: env.GT.G})
+	if err != nil {
+		return nil, err
+	}
+	env.GT = core.Sample{G: env.GT.G, Volume: gtRes.Volume, Speed: gtRes.Speed}
+
+	out := &RouteChoiceResult{}
+	for _, k := range []int{1, 2} {
+		rec, err := env.runOVSWithRoutes(k)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: route choice k=%d: %w", k, err)
+		}
+		triple, err := env.Evaluate(rec)
+		if err != nil {
+			return nil, err
+		}
+		if k == 1 {
+			out.K1 = triple
+		} else {
+			out.K2 = triple
+		}
+	}
+	return out, nil
+}
+
+// runOVSWithRoutes trains and fits an OVS model with k route slots per OD.
+func (e *Env) runOVSWithRoutes(k int) (*tensor.Tensor, error) {
+	pairs := make([][2]int, len(e.City.ODs))
+	for i, od := range e.City.ODs {
+		pairs[i] = [2]int{od.Origin, od.Dest}
+	}
+	topo, err := core.NewTopology(e.City.Net, pairs, e.SimCfg.Intervals, k)
+	if err != nil {
+		return nil, err
+	}
+	cfg := e.modelConfig()
+	cfg.RoutesPerOD = k
+	m := core.NewModel(topo, cfg)
+	return m.TrainFull(e.Samples, e.GT.Speed, e.Scale.V2SEpochs, e.Scale.T2VEpochs, e.Scale.FitEpochs, nil)
+}
+
+// Render prints the route-choice comparison.
+func (r *RouteChoiceResult) Render() string {
+	rows := [][]string{
+		{"Variant", "TOD", "vol", "speed"},
+		{"OVS k=1 (paper)", fmt.Sprintf("%.2f", r.K1.TOD), fmt.Sprintf("%.2f", r.K1.Volume), fmt.Sprintf("%.2f", r.K1.Speed)},
+		{"OVS k=2 routes", fmt.Sprintf("%.2f", r.K2.TOD), fmt.Sprintf("%.2f", r.K2.Volume), fmt.Sprintf("%.2f", r.K2.Speed)},
+	}
+	return "Extension: route-choice split under dynamic routing\n" + renderTable(rows)
+}
+
+// EngineCrossResult measures robustness to the simulator family: the chain
+// is trained on mesoscopic data but the observation comes from the
+// microscopic IDM engine (or vice versa), probing whether OVS depends on
+// simulator internals or only on the congestion phenomenology.
+type EngineCrossResult struct {
+	// MesoMeso is the in-domain control; MesoMicro trains on meso and
+	// observes micro.
+	MesoMeso, MesoMicro metrics.Triple
+}
+
+// RunEngineCross runs the cross-engine experiment on the synthetic grid.
+func RunEngineCross(sc Scale, seed int64) (*EngineCrossResult, error) {
+	env, err := NewSyntheticEnv(dataset.PatternGaussian, sc, seed)
+	if err != nil {
+		return nil, err
+	}
+	out := &EngineCrossResult{}
+
+	// Control: meso-trained, meso-observed (the standard pipeline).
+	rec, _, _, err := env.RunOVS(nil)
+	if err != nil {
+		return nil, err
+	}
+	triple, err := env.Evaluate(rec)
+	if err != nil {
+		return nil, err
+	}
+	out.MesoMeso = triple
+
+	// Cross: observe the same hidden TOD through the micro engine.
+	microCfg := env.SimCfg
+	microCfg.Engine = sim.Micro
+	microRes, err := sim.New(env.City.Net, microCfg).Run(sim.Demand{ODs: env.City.ODs, G: env.GT.G})
+	if err != nil {
+		return nil, err
+	}
+	crossEnv := *env
+	crossEnv.GT = core.Sample{G: env.GT.G, Volume: microRes.Volume, Speed: microRes.Speed}
+	rec2, _, _, err := crossEnv.RunOVS(nil)
+	if err != nil {
+		return nil, err
+	}
+	// Score the recovery against the micro-engine observation world.
+	crossSim := sim.New(env.City.Net, microCfg)
+	recRes, err := crossSim.Run(sim.Demand{ODs: env.City.ODs, G: rec2})
+	if err != nil {
+		return nil, err
+	}
+	out.MesoMicro = metrics.Triple{
+		TOD:    metrics.RMSE(rec2, env.GT.G),
+		Volume: metrics.RMSE(recRes.Volume, microRes.Volume),
+		Speed:  metrics.RMSE(recRes.Speed, microRes.Speed),
+	}
+	return out, nil
+}
+
+// Render prints the cross-engine comparison.
+func (r *EngineCrossResult) Render() string {
+	rows := [][]string{
+		{"Train → Observe", "TOD", "vol", "speed"},
+		{"meso → meso", fmt.Sprintf("%.2f", r.MesoMeso.TOD), fmt.Sprintf("%.2f", r.MesoMeso.Volume), fmt.Sprintf("%.2f", r.MesoMeso.Speed)},
+		{"meso → micro", fmt.Sprintf("%.2f", r.MesoMicro.TOD), fmt.Sprintf("%.2f", r.MesoMicro.Volume), fmt.Sprintf("%.2f", r.MesoMicro.Speed)},
+	}
+	return "Extension: cross-engine robustness (simulator mismatch)\n" + renderTable(rows)
+}

@@ -1,0 +1,80 @@
+package experiment
+
+import (
+	"fmt"
+	"strings"
+)
+
+// renderTable renders rows of cells as an aligned ASCII table with a header
+// separator, the output format of every experiment in this harness.
+func renderTable(rows [][]string) string {
+	if len(rows) == 0 {
+		return ""
+	}
+	cols := 0
+	for _, r := range rows {
+		if len(r) > cols {
+			cols = len(r)
+		}
+	}
+	widths := make([]int, cols)
+	for _, r := range rows {
+		for c, cell := range r {
+			if len(cell) > widths[c] {
+				widths[c] = len(cell)
+			}
+		}
+	}
+	var b strings.Builder
+	writeRow := func(r []string) {
+		for c := 0; c < cols; c++ {
+			cell := ""
+			if c < len(r) {
+				cell = r[c]
+			}
+			if c > 0 {
+				b.WriteString("  ")
+			}
+			fmt.Fprintf(&b, "%-*s", widths[c], cell)
+		}
+		b.WriteString("\n")
+	}
+	writeRow(rows[0])
+	total := 0
+	for _, w := range widths {
+		total += w
+	}
+	b.WriteString(strings.Repeat("-", total+2*(cols-1)) + "\n")
+	for _, r := range rows[1:] {
+		writeRow(r)
+	}
+	return b.String()
+}
+
+// sparkline renders a numeric series as a compact unicode bar chart, used to
+// print the case-study TOD curves (Figures 12-13) in a terminal.
+func sparkline(values []float64) string {
+	if len(values) == 0 {
+		return ""
+	}
+	blocks := []rune("▁▂▃▄▅▆▇█")
+	lo, hi := values[0], values[0]
+	for _, v := range values {
+		if v < lo {
+			lo = v
+		}
+		if v > hi {
+			hi = v
+		}
+	}
+	span := hi - lo
+	var b strings.Builder
+	for _, v := range values {
+		idx := 0
+		if span > 0 {
+			idx = int((v - lo) / span * float64(len(blocks)-1))
+		}
+		b.WriteRune(blocks[idx])
+	}
+	return b.String()
+}

@@ -1,0 +1,101 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"ovs/internal/dataset"
+)
+
+// SeededStat is a mean ± standard deviation over seeds.
+type SeededStat struct {
+	Mean, Std float64
+}
+
+func (s SeededStat) String() string { return fmt.Sprintf("%.2f±%.2f", s.Mean, s.Std) }
+
+// SeededRow aggregates one method's TOD RMSE across seeds.
+type SeededRow struct {
+	Method string
+	TOD    SeededStat
+}
+
+// SeededComparison is a multi-seed version of the pattern comparison: the
+// single-seed tables can flatter or punish a method by luck; this reports
+// mean ± std over independent environments.
+type SeededComparison struct {
+	Dataset string
+	Rows    []SeededRow
+}
+
+// RunSeededComparison runs the full method comparison on one synthetic
+// pattern across `seeds` independent environments and aggregates TOD RMSE.
+func RunSeededComparison(p dataset.Pattern, sc Scale, seeds []int64) (*SeededComparison, error) {
+	if len(seeds) == 0 {
+		seeds = []int64{1, 2, 3}
+	}
+	perMethod := map[string][]float64{}
+	var order []string
+	for _, seed := range seeds {
+		env, err := NewSyntheticEnv(p, sc, seed)
+		if err != nil {
+			return nil, err
+		}
+		res, err := RunComparison(env, p.String())
+		if err != nil {
+			return nil, err
+		}
+		for _, row := range res.Rows {
+			if _, seen := perMethod[row.Method]; !seen {
+				order = append(order, row.Method)
+			}
+			perMethod[row.Method] = append(perMethod[row.Method], row.Metrics.TOD)
+		}
+	}
+	out := &SeededComparison{Dataset: p.String()}
+	for _, m := range order {
+		out.Rows = append(out.Rows, SeededRow{Method: m, TOD: meanStd(perMethod[m])})
+	}
+	return out, nil
+}
+
+func meanStd(xs []float64) SeededStat {
+	if len(xs) == 0 {
+		return SeededStat{}
+	}
+	mean := 0.0
+	for _, x := range xs {
+		mean += x
+	}
+	mean /= float64(len(xs))
+	varSum := 0.0
+	for _, x := range xs {
+		d := x - mean
+		varSum += d * d
+	}
+	return SeededStat{Mean: mean, Std: math.Sqrt(varSum / float64(len(xs)))}
+}
+
+// Render prints the seeded comparison.
+func (s *SeededComparison) Render() string {
+	rows := [][]string{{"Method", "TOD RMSE (mean±std)"}}
+	for _, r := range s.Rows {
+		rows = append(rows, []string{r.Method, r.TOD.String()})
+	}
+	var b strings.Builder
+	fmt.Fprintf(&b, "Seed-averaged comparison: %s pattern\n", s.Dataset)
+	b.WriteString(renderTable(rows))
+	return b.String()
+}
+
+// Best returns the method with the lowest mean TOD RMSE.
+func (s *SeededComparison) Best() string {
+	best, bestVal := "", math.Inf(1)
+	for _, r := range s.Rows {
+		if r.TOD.Mean < bestVal {
+			best, bestVal = r.Method, r.TOD.Mean
+		}
+	}
+	return best
+}

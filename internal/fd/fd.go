@@ -1,0 +1,154 @@
+// Package fd implements the speed-density fundamental diagrams of traffic
+// flow theory ([24], [25] in the paper's bibliography). The mesoscopic
+// simulator consults one of these models every step to convert a link's
+// density into its current speed; exposing several calibrated forms lets
+// experiments probe how sensitive TOD recovery is to the substrate's
+// volume-speed physics (the "irregular volume-speed mappings" of RQ3 are a
+// per-link rescaling of whichever diagram is active).
+package fd
+
+import (
+	"fmt"
+	"math"
+)
+
+// Model maps normalized density to a speed fraction.
+type Model interface {
+	// SpeedFraction returns v/vf for density ratio k/kj ∈ [0, 1]. It must be
+	// 1 at 0, non-increasing, and 0 (or near 0) at 1.
+	SpeedFraction(densityRatio float64) float64
+	Name() string
+}
+
+// clamp01 bounds a density ratio into [0, 1].
+func clamp01(x float64) float64 {
+	if x < 0 {
+		return 0
+	}
+	if x > 1 {
+		return 1
+	}
+	return x
+}
+
+// Greenshields is the classical linear speed-density relation
+// v = vf (1 − k/kj) — the default model, and the one the package-level
+// tests of the simulator assume.
+type Greenshields struct{}
+
+// SpeedFraction implements Model.
+func (Greenshields) SpeedFraction(r float64) float64 { return 1 - clamp01(r) }
+
+// Name implements Model.
+func (Greenshields) Name() string { return "greenshields" }
+
+// Greenberg is the logarithmic relation v = v0 ln(kj/k), normalized so the
+// fraction is 1 at the free-density knee. Undefined at k→0, so the fraction
+// is capped at 1.
+type Greenberg struct {
+	// Knee is the density ratio below which speed is free-flow (default 0.08).
+	Knee float64
+}
+
+// SpeedFraction implements Model.
+func (g Greenberg) SpeedFraction(r float64) float64 {
+	knee := g.Knee
+	if knee <= 0 || knee >= 1 {
+		knee = 0.08
+	}
+	r = clamp01(r)
+	if r <= knee {
+		return 1
+	}
+	// ln(1/r) scaled to hit 1 at the knee and 0 at r=1.
+	return math.Log(1/r) / math.Log(1/knee)
+}
+
+// Name implements Model.
+func (Greenberg) Name() string { return "greenberg" }
+
+// Underwood is the exponential relation v = vf exp(−k/k0). The fraction
+// never reaches zero; the simulator's MinSpeed floor applies regardless.
+type Underwood struct {
+	// K0 is the characteristic density ratio (default 0.33).
+	K0 float64
+}
+
+// SpeedFraction implements Model.
+func (u Underwood) SpeedFraction(r float64) float64 {
+	k0 := u.K0
+	if k0 <= 0 {
+		k0 = 0.33
+	}
+	return math.Exp(-clamp01(r) / k0)
+}
+
+// Name implements Model.
+func (Underwood) Name() string { return "underwood" }
+
+// Triangular is Newell's piecewise-linear diagram: free-flow speed up to a
+// critical density, then a hyperbolic congested branch whose flow falls
+// linearly to zero at jam density.
+type Triangular struct {
+	// Critical is the density ratio at capacity (default 0.25).
+	Critical float64
+}
+
+// SpeedFraction implements Model.
+func (t Triangular) SpeedFraction(r float64) float64 {
+	kc := t.Critical
+	if kc <= 0 || kc >= 1 {
+		kc = 0.25
+	}
+	r = clamp01(r)
+	if r <= kc {
+		return 1
+	}
+	if r >= 1 {
+		return 0
+	}
+	// Congested branch: flow q ∝ (1 − r)/(1 − kc); v = q/r normalized so the
+	// fraction is continuous (=1) at r = kc.
+	return kc * (1 - r) / (r * (1 - kc))
+}
+
+// Name implements Model.
+func (Triangular) Name() string { return "triangular" }
+
+// ByName returns a model with default parameters.
+func ByName(name string) (Model, error) {
+	switch name {
+	case "", "greenshields":
+		return Greenshields{}, nil
+	case "greenberg":
+		return Greenberg{}, nil
+	case "underwood":
+		return Underwood{}, nil
+	case "triangular":
+		return Triangular{}, nil
+	default:
+		return nil, fmt.Errorf("fd: unknown fundamental diagram %q", name)
+	}
+}
+
+// All returns one instance of every model, for sweeps.
+func All() []Model {
+	return []Model{Greenshields{}, Greenberg{}, Underwood{}, Triangular{}}
+}
+
+// BPR is the Bureau of Public Roads volume-delay function
+// t = t0 (1 + α (q/c)^β), the standard static-assignment travel-time model;
+// provided for the GLS/assignment-style baselines and for validation against
+// the dynamic engines.
+func BPR(freeFlowTime, flow, capacity, alpha, beta float64) float64 {
+	if alpha <= 0 {
+		alpha = 0.15
+	}
+	if beta <= 0 {
+		beta = 4
+	}
+	if capacity <= 0 {
+		return freeFlowTime
+	}
+	return freeFlowTime * (1 + alpha*math.Pow(flow/capacity, beta))
+}

@@ -1,0 +1,117 @@
+package fd
+
+import (
+	"math"
+	"testing"
+	"testing/quick"
+)
+
+func TestModelsBoundaryConditions(t *testing.T) {
+	for _, m := range All() {
+		if got := m.SpeedFraction(0); math.Abs(got-1) > 1e-9 {
+			t.Fatalf("%s: fraction at k=0 is %v, want 1", m.Name(), got)
+		}
+		if got := m.SpeedFraction(1); got > 0.05 {
+			t.Fatalf("%s: fraction at jam is %v, want ≈0", m.Name(), got)
+		}
+		// Out-of-range inputs are clamped, not extrapolated.
+		if got := m.SpeedFraction(-3); math.Abs(got-1) > 1e-9 {
+			t.Fatalf("%s: negative density fraction %v", m.Name(), got)
+		}
+		if got := m.SpeedFraction(7); got > 0.05 {
+			t.Fatalf("%s: beyond-jam fraction %v", m.Name(), got)
+		}
+	}
+}
+
+func TestModelsMonotoneNonIncreasing(t *testing.T) {
+	for _, m := range All() {
+		prev := math.Inf(1)
+		for r := 0.0; r <= 1.0001; r += 0.01 {
+			v := m.SpeedFraction(r)
+			if v > prev+1e-9 {
+				t.Fatalf("%s: fraction increased at r=%v (%v > %v)", m.Name(), r, v, prev)
+			}
+			if v < 0 || v > 1+1e-9 {
+				t.Fatalf("%s: fraction %v out of [0,1] at r=%v", m.Name(), v, r)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestGreenshieldsExactlyLinear(t *testing.T) {
+	g := Greenshields{}
+	for _, r := range []float64{0, 0.25, 0.5, 0.75, 1} {
+		if got := g.SpeedFraction(r); math.Abs(got-(1-r)) > 1e-12 {
+			t.Fatalf("greenshields(%v) = %v", r, got)
+		}
+	}
+}
+
+func TestTriangularContinuityAtCritical(t *testing.T) {
+	tr := Triangular{Critical: 0.3}
+	below := tr.SpeedFraction(0.3 - 1e-9)
+	above := tr.SpeedFraction(0.3 + 1e-9)
+	if math.Abs(below-above) > 1e-6 {
+		t.Fatalf("triangular discontinuous at critical: %v vs %v", below, above)
+	}
+}
+
+func TestGreenbergKneeIsFreeFlow(t *testing.T) {
+	g := Greenberg{Knee: 0.1}
+	if g.SpeedFraction(0.05) != 1 {
+		t.Fatal("below-knee density must be free flow")
+	}
+	if g.SpeedFraction(0.5) >= 1 {
+		t.Fatal("above-knee density must slow down")
+	}
+}
+
+func TestByName(t *testing.T) {
+	for _, name := range []string{"", "greenshields", "greenberg", "underwood", "triangular"} {
+		if _, err := ByName(name); err != nil {
+			t.Fatalf("ByName(%q): %v", name, err)
+		}
+	}
+	if _, err := ByName("warp-drive"); err == nil {
+		t.Fatal("unknown model did not error")
+	}
+}
+
+func TestBPR(t *testing.T) {
+	// Zero flow: free-flow time.
+	if got := BPR(100, 0, 10, 0, 0); got != 100 {
+		t.Fatalf("BPR at zero flow = %v", got)
+	}
+	// At capacity with defaults: t0 (1 + 0.15) = 115.
+	if got := BPR(100, 10, 10, 0, 0); math.Abs(got-115) > 1e-9 {
+		t.Fatalf("BPR at capacity = %v, want 115", got)
+	}
+	// Monotone in flow.
+	if BPR(100, 20, 10, 0, 0) <= BPR(100, 10, 10, 0, 0) {
+		t.Fatal("BPR not increasing in flow")
+	}
+	// Degenerate capacity falls back to free-flow.
+	if got := BPR(100, 5, 0, 0, 0); got != 100 {
+		t.Fatalf("BPR with zero capacity = %v", got)
+	}
+}
+
+func TestQuickAllModelsBounded(t *testing.T) {
+	f := func(raw float64) bool {
+		if math.IsNaN(raw) || math.IsInf(raw, 0) {
+			return true
+		}
+		for _, m := range All() {
+			v := m.SpeedFraction(raw)
+			if math.IsNaN(v) || v < 0 || v > 1+1e-9 {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,65 @@
+// Package metrics implements the evaluation metrics of §V-G: per-interval
+// RMSE averaged over time, computed identically for TOD, volume and speed
+// tensors laid out as (entities × T).
+package metrics
+
+import (
+	"fmt"
+	"math"
+
+	"ovs/internal/tensor"
+)
+
+// RMSE computes the paper's metric
+//
+//	(1/T) Σ_t sqrt( (1/N) Σ_i (x[i,t] - y[i,t])² )
+//
+// for two (N × T) tensors. Note the square root is taken per interval before
+// averaging over time, exactly as in §V-G.
+func RMSE(pred, truth *tensor.Tensor) float64 {
+	if !pred.SameShape(truth) {
+		panic(fmt.Sprintf("metrics: RMSE shape mismatch %v vs %v", pred.Shape(), truth.Shape()))
+	}
+	if pred.Rank() != 2 {
+		panic(fmt.Sprintf("metrics: RMSE requires rank-2 tensors, got %v", pred.Shape()))
+	}
+	n, t := pred.Dim(0), pred.Dim(1)
+	total := 0.0
+	for tt := 0; tt < t; tt++ {
+		sq := 0.0
+		for i := 0; i < n; i++ {
+			d := pred.At(i, tt) - truth.At(i, tt)
+			sq += d * d
+		}
+		total += math.Sqrt(sq / float64(n))
+	}
+	return total / float64(t)
+}
+
+// MAE computes the mean absolute error over all cells, a secondary
+// diagnostic used in tests and ablation reporting.
+func MAE(pred, truth *tensor.Tensor) float64 {
+	if !pred.SameShape(truth) {
+		panic(fmt.Sprintf("metrics: MAE shape mismatch %v vs %v", pred.Shape(), truth.Shape()))
+	}
+	s := 0.0
+	for i := range pred.Data {
+		s += math.Abs(pred.Data[i] - truth.Data[i])
+	}
+	return s / float64(len(pred.Data))
+}
+
+// Triple bundles the three paper metrics for one method on one dataset
+// (one cell group of Tables VI/VIII/IX).
+type Triple struct {
+	TOD, Volume, Speed float64
+}
+
+// Improvement returns the relative improvement of a over b (positive when a
+// is lower/better), as reported in the "Improve" rows of Tables VI and VIII.
+func Improvement(a, b float64) float64 {
+	if b == 0 {
+		return 0
+	}
+	return (b - a) / b
+}

@@ -1,0 +1,109 @@
+package metrics
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"ovs/internal/tensor"
+)
+
+func TestRMSEZeroForIdentical(t *testing.T) {
+	x := tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2)
+	if got := RMSE(x, x.Clone()); got != 0 {
+		t.Fatalf("RMSE of identical = %v", got)
+	}
+}
+
+func TestRMSEHandComputed(t *testing.T) {
+	// N=2, T=2. Differences: t0: (1, -1) -> sqrt(1) = 1 ; t1: (2, 2) -> 2.
+	pred := tensor.FromSlice([]float64{
+		1, 2,
+		1, 2,
+	}, 2, 2)
+	truth := tensor.FromSlice([]float64{
+		0, 0,
+		2, 0,
+	}, 2, 2)
+	want := (1.0 + 2.0) / 2
+	if got := RMSE(pred, truth); math.Abs(got-want) > 1e-12 {
+		t.Fatalf("RMSE = %v, want %v", got, want)
+	}
+}
+
+func TestRMSEPerIntervalConvention(t *testing.T) {
+	// The paper's metric differs from a flat RMSE when per-interval errors
+	// vary: mean of sqrt vs sqrt of mean. Verify we implement mean-of-sqrt.
+	pred := tensor.FromSlice([]float64{3, 0}, 1, 2)
+	truth := tensor.New(1, 2)
+	// per-interval RMSEs: 3 and 0 → paper metric 1.5; flat RMSE would be
+	// sqrt(9/2) ≈ 2.12.
+	if got := RMSE(pred, truth); math.Abs(got-1.5) > 1e-12 {
+		t.Fatalf("RMSE = %v, want 1.5 (per-interval convention)", got)
+	}
+}
+
+func TestRMSEPanicsOnShapeMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Fatal("no panic on shape mismatch")
+		}
+	}()
+	RMSE(tensor.New(2, 2), tensor.New(2, 3))
+}
+
+func TestMAE(t *testing.T) {
+	a := tensor.FromSlice([]float64{1, -1, 3}, 3)
+	b := tensor.FromSlice([]float64{0, 1, 1}, 3)
+	if got := MAE(a, b); math.Abs(got-(1.0+2.0+2.0)/3) > 1e-12 {
+		t.Fatalf("MAE = %v", got)
+	}
+}
+
+func TestImprovement(t *testing.T) {
+	if got := Improvement(5, 10); got != 0.5 {
+		t.Fatalf("Improvement = %v, want 0.5", got)
+	}
+	if got := Improvement(10, 0); got != 0 {
+		t.Fatalf("Improvement with zero baseline = %v, want 0", got)
+	}
+	if Improvement(12, 10) >= 0 {
+		t.Fatal("worse method should have negative improvement")
+	}
+}
+
+func TestQuickRMSEProperties(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	f := func(seed int64) bool {
+		r := rand.New(rand.NewSource(seed))
+		n, tt := 1+r.Intn(5), 1+r.Intn(5)
+		a := tensor.Randn(r, 1, n, tt)
+		b := tensor.Randn(r, 1, n, tt)
+		// Symmetry and non-negativity.
+		ab, ba := RMSE(a, b), RMSE(b, a)
+		if math.Abs(ab-ba) > 1e-12 || ab < 0 {
+			return false
+		}
+		// Identity of indiscernibles.
+		return RMSE(a, a.Clone()) == 0
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 100, Rand: rng}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestQuickRMSEScaleEquivariance(t *testing.T) {
+	// RMSE(ka, kb) = |k| RMSE(a, b).
+	rng := rand.New(rand.NewSource(2))
+	for i := 0; i < 50; i++ {
+		a := tensor.Randn(rng, 1, 3, 4)
+		b := tensor.Randn(rng, 1, 3, 4)
+		k := rng.Float64()*4 - 2
+		lhs := RMSE(tensor.Scale(a, k), tensor.Scale(b, k))
+		rhs := math.Abs(k) * RMSE(a, b)
+		if math.Abs(lhs-rhs) > 1e-9 {
+			t.Fatalf("scale equivariance violated: %v vs %v", lhs, rhs)
+		}
+	}
+}

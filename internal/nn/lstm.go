@@ -1,0 +1,77 @@
+package nn
+
+import (
+	"math/rand"
+
+	"ovs/internal/autodiff"
+	"ovs/internal/tensor"
+)
+
+// LSTM is a single-layer long short-term memory network processing a
+// sequence laid out as a rank-2 tensor (T × in) and emitting the hidden
+// state sequence (T × hidden). The paper's Volume-Speed mapping stacks two
+// of these followed by fully connected layers (Table IV), with weights
+// shared across all road links.
+type LSTM struct {
+	// Wx maps the input, Wh the previous hidden state, into the concatenated
+	// gate pre-activations [i | f | o | g], each of width hidden.
+	Wx, Wh, B *autodiff.Parameter
+	hidden    int
+}
+
+// NewLSTM constructs an LSTM with the given input and hidden sizes. The
+// forget-gate bias is initialized to 1, the standard trick to preserve
+// gradient flow early in training.
+func NewLSTM(rng *rand.Rand, name string, in, hidden int) *LSTM {
+	b := tensor.New(4 * hidden)
+	for i := hidden; i < 2*hidden; i++ {
+		b.Data[i] = 1 // forget gate bias
+	}
+	return &LSTM{
+		Wx:     autodiff.NewParameter(name+".Wx", tensor.Xavier(rng, in, 4*hidden, in, 4*hidden)),
+		Wh:     autodiff.NewParameter(name+".Wh", tensor.Xavier(rng, hidden, 4*hidden, hidden, 4*hidden)),
+		B:      autodiff.NewParameter(name+".b", b),
+		hidden: hidden,
+	}
+}
+
+// Hidden returns the hidden-state width.
+func (l *LSTM) Hidden() int { return l.hidden }
+
+// Forward runs the LSTM over the full sequence. x is (T × in); the result is
+// (T × hidden), one row per timestep.
+func (l *LSTM) Forward(x *autodiff.Node, _ bool) *autodiff.Node {
+	g := x.Graph()
+	t := x.Value.Dim(0)
+	h := g.Const(tensor.New(1, l.hidden))
+	c := g.Const(tensor.New(1, l.hidden))
+	wx, wh, b := g.Param(l.Wx), g.Param(l.Wh), g.Param(l.B)
+
+	outs := make([]*autodiff.Node, t)
+	for step := 0; step < t; step++ {
+		xt := autodiff.Reshape(autodiff.Row(x, step), 1, x.Value.Dim(1))
+		pre := autodiff.AddRowVector(
+			autodiff.Add(autodiff.MatMul(xt, wx), autodiff.MatMul(h, wh)),
+			b,
+		) // (1 × 4*hidden)
+		flat := autodiff.Reshape(pre, 4*l.hidden)
+		in := autodiff.Sigmoid(autodiff.SliceVec(flat, 0, l.hidden))
+		fg := autodiff.Sigmoid(autodiff.SliceVec(flat, l.hidden, 2*l.hidden))
+		og := autodiff.Sigmoid(autodiff.SliceVec(flat, 2*l.hidden, 3*l.hidden))
+		gg := autodiff.Tanh(autodiff.SliceVec(flat, 3*l.hidden, 4*l.hidden))
+
+		cFlat := autodiff.Reshape(c, l.hidden)
+		cNew := autodiff.Add(autodiff.Mul(fg, cFlat), autodiff.Mul(in, gg))
+		hNew := autodiff.Mul(og, autodiff.Tanh(cNew))
+
+		outs[step] = hNew
+		h = autodiff.Reshape(hNew, 1, l.hidden)
+		c = autodiff.Reshape(cNew, 1, l.hidden)
+	}
+	return autodiff.StackRows(outs)
+}
+
+// Params returns the LSTM's trainable parameters.
+func (l *LSTM) Params() []*autodiff.Parameter {
+	return []*autodiff.Parameter{l.Wx, l.Wh, l.B}
+}

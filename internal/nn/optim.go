@@ -1,0 +1,118 @@
+package nn
+
+import (
+	"math"
+
+	"ovs/internal/autodiff"
+	"ovs/internal/tensor"
+)
+
+// Optimizer updates parameters from their accumulated gradients.
+type Optimizer interface {
+	// Step applies one update and leaves gradients intact; callers typically
+	// follow it with ZeroGrads.
+	Step(params []*autodiff.Parameter)
+}
+
+// ZeroGrads clears the gradients of all given parameters.
+func ZeroGrads(params []*autodiff.Parameter) {
+	for _, p := range params {
+		p.ZeroGrad()
+	}
+}
+
+// ClipGrads scales gradients so their global L2 norm does not exceed max.
+// It returns the pre-clip norm. Gradient clipping keeps the test-time
+// TOD-generator fitting stable when the speed loss surface is steep.
+func ClipGrads(params []*autodiff.Parameter, max float64) float64 {
+	total := 0.0
+	for _, p := range params {
+		for _, g := range p.Grad.Data {
+			total += g * g
+		}
+	}
+	norm := math.Sqrt(total)
+	if norm > max && norm > 0 {
+		s := max / norm
+		for _, p := range params {
+			for i := range p.Grad.Data {
+				p.Grad.Data[i] *= s
+			}
+		}
+	}
+	return norm
+}
+
+// SGD is plain stochastic gradient descent with optional momentum.
+type SGD struct {
+	LR       float64
+	Momentum float64
+	velocity map[*autodiff.Parameter]*tensor.Tensor
+}
+
+// NewSGD constructs an SGD optimizer.
+func NewSGD(lr, momentum float64) *SGD {
+	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*autodiff.Parameter]*tensor.Tensor)}
+}
+
+// Step applies one SGD update.
+func (s *SGD) Step(params []*autodiff.Parameter) {
+	for _, p := range params {
+		if s.Momentum == 0 {
+			tensor.AxpyInPlace(p.Value, -s.LR, p.Grad)
+			continue
+		}
+		v, ok := s.velocity[p]
+		if !ok {
+			v = tensor.New(p.Value.Shape()...)
+			s.velocity[p] = v
+		}
+		for i := range v.Data {
+			v.Data[i] = s.Momentum*v.Data[i] - s.LR*p.Grad.Data[i]
+			p.Value.Data[i] += v.Data[i]
+		}
+	}
+}
+
+// Adam implements the Adam optimizer (Kingma & Ba). The paper trains with
+// learning rate 0.001 (Table V), Adam's default.
+type Adam struct {
+	LR, Beta1, Beta2, Eps float64
+
+	step int
+	m    map[*autodiff.Parameter]*tensor.Tensor
+	v    map[*autodiff.Parameter]*tensor.Tensor
+}
+
+// NewAdam constructs an Adam optimizer with standard betas.
+func NewAdam(lr float64) *Adam {
+	return &Adam{
+		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+		m: make(map[*autodiff.Parameter]*tensor.Tensor),
+		v: make(map[*autodiff.Parameter]*tensor.Tensor),
+	}
+}
+
+// Step applies one Adam update.
+func (a *Adam) Step(params []*autodiff.Parameter) {
+	a.step++
+	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
+	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
+	for _, p := range params {
+		m, ok := a.m[p]
+		if !ok {
+			m = tensor.New(p.Value.Shape()...)
+			a.m[p] = m
+			a.v[p] = tensor.New(p.Value.Shape()...)
+		}
+		v := a.v[p]
+		for i := range p.Value.Data {
+			g := p.Grad.Data[i]
+			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
+			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
+			mHat := m.Data[i] / bc1
+			vHat := v.Data[i] / bc2
+			p.Value.Data[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
+		}
+	}
+}

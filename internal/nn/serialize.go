@@ -1,0 +1,59 @@
+package nn
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ovs/internal/autodiff"
+	"ovs/internal/tensor"
+)
+
+// paramRecord is the on-disk form of one parameter.
+type paramRecord struct {
+	Name  string    `json:"name"`
+	Shape []int     `json:"shape"`
+	Data  []float64 `json:"data"`
+}
+
+// SaveParams writes the parameters as a JSON array. Parameter names must be
+// unique; they key the values back on load.
+func SaveParams(w io.Writer, params []*autodiff.Parameter) error {
+	seen := make(map[string]bool, len(params))
+	records := make([]paramRecord, 0, len(params))
+	for _, p := range params {
+		if seen[p.Name] {
+			return fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+		}
+		seen[p.Name] = true
+		records = append(records, paramRecord{Name: p.Name, Shape: p.Value.Shape(), Data: p.Value.Data})
+	}
+	enc := json.NewEncoder(w)
+	return enc.Encode(records)
+}
+
+// LoadParams reads a JSON array written by SaveParams and copies values into
+// matching parameters by name. Every target parameter must be present in the
+// stream with a matching shape.
+func LoadParams(r io.Reader, params []*autodiff.Parameter) error {
+	var records []paramRecord
+	if err := json.NewDecoder(r).Decode(&records); err != nil {
+		return fmt.Errorf("nn: decode params: %w", err)
+	}
+	byName := make(map[string]paramRecord, len(records))
+	for _, rec := range records {
+		byName[rec.Name] = rec
+	}
+	for _, p := range params {
+		rec, ok := byName[p.Name]
+		if !ok {
+			return fmt.Errorf("nn: parameter %q missing from stream", p.Name)
+		}
+		stored := tensor.FromSlice(rec.Data, rec.Shape...)
+		if !stored.SameShape(p.Value) {
+			return fmt.Errorf("nn: parameter %q shape %v does not match stored %v", p.Name, p.Value.Shape(), rec.Shape)
+		}
+		copy(p.Value.Data, stored.Data)
+	}
+	return nil
+}

@@ -1,0 +1,236 @@
+package roadnet
+
+import (
+	"fmt"
+	"math/rand"
+)
+
+// GridConfig parameterizes a rectangular grid network, the synthetic-data
+// substrate of Table VIII (3×3 intersections) and the scalability sweep of
+// Figure 9 (10 to 1000 intersections).
+type GridConfig struct {
+	Rows, Cols int
+	// BlockLength is the road length between adjacent intersections (m).
+	BlockLength float64
+	// Lanes per direction.
+	Lanes int
+	// SpeedLimit in m/s (default 13.9 ≈ 50 km/h when zero).
+	SpeedLimit float64
+	// Jitter displaces intersections by up to Jitter meters so generated
+	// cities are not perfectly regular; requires Rng.
+	Jitter float64
+	Rng    *rand.Rand
+}
+
+// Grid builds a Rows×Cols grid of intersections with bidirectional roads
+// between orthogonal neighbors.
+func Grid(cfg GridConfig) *Network {
+	if cfg.Rows <= 0 || cfg.Cols <= 0 {
+		panic(fmt.Sprintf("roadnet: Grid requires positive dims, got %dx%d", cfg.Rows, cfg.Cols))
+	}
+	if cfg.BlockLength <= 0 {
+		cfg.BlockLength = 300
+	}
+	if cfg.Lanes <= 0 {
+		cfg.Lanes = 2
+	}
+	if cfg.SpeedLimit <= 0 {
+		cfg.SpeedLimit = 13.9
+	}
+	net := New()
+	idx := func(r, c int) int { return r*cfg.Cols + c }
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			x := float64(c) * cfg.BlockLength
+			y := float64(r) * cfg.BlockLength
+			if cfg.Jitter > 0 && cfg.Rng != nil {
+				x += (cfg.Rng.Float64()*2 - 1) * cfg.Jitter
+				y += (cfg.Rng.Float64()*2 - 1) * cfg.Jitter
+			}
+			net.AddNode(x, y)
+		}
+	}
+	for r := 0; r < cfg.Rows; r++ {
+		for c := 0; c < cfg.Cols; c++ {
+			if c+1 < cfg.Cols {
+				a, b := idx(r, c), idx(r, c+1)
+				net.AddRoad(a, b, net.Distance(a, b), cfg.Lanes, cfg.SpeedLimit, 0)
+			}
+			if r+1 < cfg.Rows {
+				a, b := idx(r, c), idx(r+1, c)
+				net.AddRoad(a, b, net.Distance(a, b), cfg.Lanes, cfg.SpeedLimit, 0)
+			}
+		}
+	}
+	return net
+}
+
+// GridForIntersections builds a near-square grid with approximately n
+// intersections (used by the Figure 9 scalability sweep, which asks for 10,
+// 50, 100, 500 and 1000 intersections).
+func GridForIntersections(n int) *Network {
+	if n <= 0 {
+		panic("roadnet: GridForIntersections requires n > 0")
+	}
+	rows := 1
+	for rows*rows < n {
+		rows++
+	}
+	cols := (n + rows - 1) / rows
+	return Grid(GridConfig{Rows: rows, Cols: cols})
+}
+
+// CityConfig parameterizes an irregular synthetic city: a jittered grid core
+// with some roads removed, a few diagonal shortcuts, and optional highway
+// "gate" nodes feeding the periphery (used by the football case study, where
+// origins O1/O3 sit at highway exits).
+type CityConfig struct {
+	// TargetIntersections and TargetRoads approximate the Table III scale.
+	TargetIntersections int
+	TargetRoads         int
+	// HighwayGates adds this many peripheral high-speed feeder nodes.
+	HighwayGates int
+	BlockLength  float64
+	Seed         int64
+}
+
+// City generates an irregular strongly connected network at roughly the
+// requested scale. Roads are removed from a jittered grid until the road
+// count is met, never breaking strong connectivity.
+func City(cfg CityConfig) *Network {
+	if cfg.TargetIntersections <= 1 {
+		panic("roadnet: City requires at least 2 intersections")
+	}
+	if cfg.BlockLength <= 0 {
+		cfg.BlockLength = 400
+	}
+	rng := rand.New(rand.NewSource(cfg.Seed))
+	rows := 1
+	for rows*rows < cfg.TargetIntersections {
+		rows++
+	}
+	cols := (cfg.TargetIntersections + rows - 1) / rows
+	net := Grid(GridConfig{
+		Rows: rows, Cols: cols,
+		BlockLength: cfg.BlockLength,
+		Jitter:      cfg.BlockLength * 0.15,
+		Rng:         rng,
+		Lanes:       2,
+	})
+
+	// Promote a few arterial roads: raise lanes/speed on one horizontal and
+	// one vertical corridor.
+	midRow, midCol := rows/2, cols/2
+	for i := range net.Links {
+		l := &net.Links[i]
+		fr, to := net.Nodes[l.From], net.Nodes[l.To]
+		onRowCorridor := nearLine(fr.Y, to.Y, float64(midRow)*cfg.BlockLength, cfg.BlockLength*0.3)
+		onColCorridor := nearLine(fr.X, to.X, float64(midCol)*cfg.BlockLength, cfg.BlockLength*0.3)
+		if onRowCorridor || onColCorridor {
+			l.Lanes = 3
+			l.SpeedLimit = 16.7 // 60 km/h
+			l.Capacity = 0.5 * float64(l.Lanes)
+		}
+	}
+
+	// Remove random non-arterial roads (both directions) until the target
+	// road count is reached, preserving strong connectivity. Removal works on
+	// a candidate copy; roads whose removal disconnects the graph stay.
+	currentRoads := net.NumLinks() / 2
+	if cfg.TargetRoads > 0 && cfg.TargetRoads < currentRoads {
+		toRemove := currentRoads - cfg.TargetRoads
+		order := rng.Perm(net.NumLinks() / 2)
+		removed := make(map[int]bool)
+		for _, roadIdx := range order {
+			if toRemove == 0 {
+				break
+			}
+			// Road roadIdx corresponds to link pair (2*roadIdx, 2*roadIdx+1)
+			// by the AddRoad construction order of Grid.
+			a, b := 2*roadIdx, 2*roadIdx+1
+			if net.Links[a].Lanes >= 3 {
+				continue // keep arterials
+			}
+			candidate := rebuildWithout(net, withKeys(removed, a, b))
+			if candidate.StronglyConnected() {
+				removed[a], removed[b] = true, true
+				toRemove--
+			}
+		}
+		net = rebuildWithout(net, removed)
+	}
+
+	// Attach highway gates: peripheral nodes connected by long fast roads.
+	for gate := 0; gate < cfg.HighwayGates; gate++ {
+		side := gate % 4
+		var x, y float64
+		span := float64(cols) * cfg.BlockLength
+		switch side {
+		case 0:
+			x, y = rng.Float64()*span, -2*cfg.BlockLength
+		case 1:
+			x, y = rng.Float64()*span, float64(rows)*cfg.BlockLength+cfg.BlockLength
+		case 2:
+			x, y = -2*cfg.BlockLength, rng.Float64()*float64(rows)*cfg.BlockLength
+		default:
+			x, y = span+cfg.BlockLength, rng.Float64()*float64(rows)*cfg.BlockLength
+		}
+		g := net.AddNode(x, y)
+		nearest := nearestNode(net, x, y, g)
+		net.AddRoad(g, nearest, net.Distance(g, nearest), 3, 25.0, 0) // 90 km/h feeder
+	}
+	return net
+}
+
+func nearLine(a, b, line, tol float64) bool {
+	return abs(a-line) < tol && abs(b-line) < tol
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+func withKeys(m map[int]bool, keys ...int) map[int]bool {
+	out := make(map[int]bool, len(m)+len(keys))
+	for k, v := range m {
+		out[k] = v
+	}
+	for _, k := range keys {
+		out[k] = true
+	}
+	return out
+}
+
+// rebuildWithout builds a copy of net excluding the given link IDs. Node IDs
+// are preserved; link IDs are renumbered.
+func rebuildWithout(net *Network, excluded map[int]bool) *Network {
+	out := New()
+	for _, nd := range net.Nodes {
+		out.AddNode(nd.X, nd.Y)
+	}
+	for _, l := range net.Links {
+		if excluded[l.ID] {
+			continue
+		}
+		out.AddLink(l.From, l.To, l.Length, l.Lanes, l.SpeedLimit, l.Capacity)
+	}
+	return out
+}
+
+func nearestNode(net *Network, x, y float64, exclude int) int {
+	best, bestD := -1, 0.0
+	for _, nd := range net.Nodes {
+		if nd.ID == exclude {
+			continue
+		}
+		dx, dy := nd.X-x, nd.Y-y
+		d := dx*dx + dy*dy
+		if best == -1 || d < bestD {
+			best, bestD = nd.ID, d
+		}
+	}
+	return best
+}

@@ -1,0 +1,139 @@
+package roadnet
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+)
+
+// Region is a partition cell of the city (Section III: "a region can be as
+// small as one block"). TOD is defined between regions; each region has an
+// anchor node where trips enter and leave the road network, and a synthetic
+// population used by the Gravity baseline and the census auxiliary loss.
+type Region struct {
+	ID         int
+	Nodes      []int // member intersections
+	Anchor     int   // representative intersection for trip loading
+	CX, CY     float64
+	Population float64
+}
+
+// ODPair is an ordered (origin region, destination region) pair, the unit
+// the TOD tensor is indexed by.
+type ODPair struct {
+	Origin, Dest int // region IDs
+}
+
+// Partition divides the network's nodes into a rows×cols lattice of regions
+// over its bounding box. Empty cells are dropped; region IDs are compacted.
+// Populations are drawn log-normally from rng (deterministic per seed),
+// representing the census data the paper's auxiliary losses consume.
+func Partition(net *Network, rows, cols int, rng *rand.Rand) []Region {
+	if rows <= 0 || cols <= 0 {
+		panic(fmt.Sprintf("roadnet: Partition requires positive dims, got %dx%d", rows, cols))
+	}
+	if net.NumNodes() == 0 {
+		return nil
+	}
+	minX, minY := math.Inf(1), math.Inf(1)
+	maxX, maxY := math.Inf(-1), math.Inf(-1)
+	for _, nd := range net.Nodes {
+		minX, maxX = math.Min(minX, nd.X), math.Max(maxX, nd.X)
+		minY, maxY = math.Min(minY, nd.Y), math.Max(maxY, nd.Y)
+	}
+	// Expand slightly so max-coordinate nodes land inside the last cell.
+	w := (maxX - minX) + 1e-9
+	h := (maxY - minY) + 1e-9
+	cells := make([][]int, rows*cols)
+	for _, nd := range net.Nodes {
+		c := int(float64(cols) * (nd.X - minX) / w)
+		r := int(float64(rows) * (nd.Y - minY) / h)
+		if c >= cols {
+			c = cols - 1
+		}
+		if r >= rows {
+			r = rows - 1
+		}
+		cells[r*cols+c] = append(cells[r*cols+c], nd.ID)
+	}
+	var regions []Region
+	for _, members := range cells {
+		if len(members) == 0 {
+			continue
+		}
+		cx, cy := 0.0, 0.0
+		for _, id := range members {
+			cx += net.Nodes[id].X
+			cy += net.Nodes[id].Y
+		}
+		cx /= float64(len(members))
+		cy /= float64(len(members))
+		// Anchor: member closest to centroid.
+		anchor, bestD := members[0], math.Inf(1)
+		for _, id := range members {
+			dx, dy := net.Nodes[id].X-cx, net.Nodes[id].Y-cy
+			if d := dx*dx + dy*dy; d < bestD {
+				anchor, bestD = id, d
+			}
+		}
+		pop := 1000.0
+		if rng != nil {
+			pop = math.Exp(rng.NormFloat64()*0.5) * 1000 * float64(len(members))
+		}
+		regions = append(regions, Region{
+			ID:     len(regions),
+			Nodes:  members,
+			Anchor: anchor,
+			CX:     cx, CY: cy,
+			Population: pop,
+		})
+	}
+	return regions
+}
+
+// PerNodeRegions makes every intersection its own region — the finest
+// partition, used by the small synthetic grids where a region is one block.
+func PerNodeRegions(net *Network, rng *rand.Rand) []Region {
+	regions := make([]Region, net.NumNodes())
+	for i, nd := range net.Nodes {
+		pop := 1000.0
+		if rng != nil {
+			pop = math.Exp(rng.NormFloat64()*0.5) * 1000
+		}
+		regions[i] = Region{
+			ID:     i,
+			Nodes:  []int{nd.ID},
+			Anchor: nd.ID,
+			CX:     nd.X, CY: nd.Y,
+			Population: pop,
+		}
+	}
+	return regions
+}
+
+// RegionDistance returns the centroid distance between two regions, the d_ij
+// of the Gravity baseline.
+func RegionDistance(a, b Region) float64 {
+	return math.Hypot(a.CX-b.CX, a.CY-b.CY)
+}
+
+// SelectODPairs chooses n distinct ordered region pairs, deterministically
+// for a given rng. When n is at least the number of ordered pairs, all pairs
+// are returned. Origins and destinations are never equal.
+func SelectODPairs(regions []Region, n int, rng *rand.Rand) []ODPair {
+	k := len(regions)
+	all := make([]ODPair, 0, k*(k-1))
+	for i := 0; i < k; i++ {
+		for j := 0; j < k; j++ {
+			if i != j {
+				all = append(all, ODPair{Origin: regions[i].ID, Dest: regions[j].ID})
+			}
+		}
+	}
+	if n >= len(all) || n <= 0 {
+		return all
+	}
+	rng.Shuffle(len(all), func(i, j int) { all[i], all[j] = all[j], all[i] })
+	out := all[:n]
+	return out
+}

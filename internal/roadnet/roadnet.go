@@ -1,0 +1,163 @@
+// Package roadnet models city road networks: intersections (nodes), directed
+// road segments (links), region partitions, and the routing algorithms the
+// OVS pipeline needs (Dijkstra shortest/fastest paths and Yen's k-shortest
+// paths). It plays the role OpenStreetMap extracts play in the paper.
+package roadnet
+
+import (
+	"fmt"
+	"math"
+)
+
+// Node is an intersection with planar coordinates in meters.
+type Node struct {
+	ID   int
+	X, Y float64
+}
+
+// Link is one direction of a road segment between two intersections, the
+// unit at which volume and speed are observed (Section III of the paper).
+type Link struct {
+	ID   int
+	From int // origin node
+	To   int // destination node
+
+	Length     float64 // meters
+	Lanes      int
+	SpeedLimit float64 // meters/second (free-flow speed)
+	Capacity   float64 // discharge capacity, vehicles/second
+}
+
+// FreeFlowTime returns the uncongested traversal time in seconds.
+func (l *Link) FreeFlowTime() float64 { return l.Length / l.SpeedLimit }
+
+// Network is an immutable-after-construction directed road graph.
+type Network struct {
+	Nodes []Node
+	Links []Link
+
+	out [][]int // node -> outgoing link IDs
+	in  [][]int // node -> incoming link IDs
+}
+
+// New returns an empty network.
+func New() *Network { return &Network{} }
+
+// AddNode appends an intersection and returns its ID.
+func (n *Network) AddNode(x, y float64) int {
+	id := len(n.Nodes)
+	n.Nodes = append(n.Nodes, Node{ID: id, X: x, Y: y})
+	n.out = append(n.out, nil)
+	n.in = append(n.in, nil)
+	return id
+}
+
+// AddLink appends a directed link and returns its ID. Capacity defaults to
+// 0.5 vehicles/second/lane (an 1800 veh/h/lane saturation flow) when cap is
+// zero or negative.
+func (n *Network) AddLink(from, to int, length float64, lanes int, speedLimit, cap float64) int {
+	if from < 0 || from >= len(n.Nodes) || to < 0 || to >= len(n.Nodes) {
+		panic(fmt.Sprintf("roadnet: AddLink endpoints (%d,%d) out of range (%d nodes)", from, to, len(n.Nodes)))
+	}
+	if from == to {
+		panic(fmt.Sprintf("roadnet: AddLink self-loop at node %d", from))
+	}
+	if length <= 0 || lanes <= 0 || speedLimit <= 0 {
+		panic(fmt.Sprintf("roadnet: AddLink invalid attributes length=%v lanes=%d speed=%v", length, lanes, speedLimit))
+	}
+	if cap <= 0 {
+		cap = 0.5 * float64(lanes)
+	}
+	id := len(n.Links)
+	n.Links = append(n.Links, Link{
+		ID: id, From: from, To: to,
+		Length: length, Lanes: lanes, SpeedLimit: speedLimit, Capacity: cap,
+	})
+	n.out[from] = append(n.out[from], id)
+	n.in[to] = append(n.in[to], id)
+	return id
+}
+
+// AddRoad adds a bidirectional road as two opposite links and returns both
+// link IDs. Table III counts "roads"; each road contributes two links.
+func (n *Network) AddRoad(a, b int, length float64, lanes int, speedLimit, cap float64) (int, int) {
+	return n.AddLink(a, b, length, lanes, speedLimit, cap),
+		n.AddLink(b, a, length, lanes, speedLimit, cap)
+}
+
+// NumNodes returns the number of intersections.
+func (n *Network) NumNodes() int { return len(n.Nodes) }
+
+// NumLinks returns the number of directed links.
+func (n *Network) NumLinks() int { return len(n.Links) }
+
+// Out returns the IDs of links leaving node v.
+func (n *Network) Out(v int) []int { return n.out[v] }
+
+// In returns the IDs of links entering node v.
+func (n *Network) In(v int) []int { return n.in[v] }
+
+// Distance returns the Euclidean distance between two nodes.
+func (n *Network) Distance(a, b int) float64 {
+	dx := n.Nodes[a].X - n.Nodes[b].X
+	dy := n.Nodes[a].Y - n.Nodes[b].Y
+	return math.Hypot(dx, dy)
+}
+
+// Validate checks structural invariants: endpoint ranges, adjacency
+// consistency, and positive attributes. It returns the first violation.
+func (n *Network) Validate() error {
+	for _, l := range n.Links {
+		if l.From < 0 || l.From >= len(n.Nodes) || l.To < 0 || l.To >= len(n.Nodes) {
+			return fmt.Errorf("roadnet: link %d endpoints (%d,%d) out of range", l.ID, l.From, l.To)
+		}
+		if l.Length <= 0 || l.Lanes <= 0 || l.SpeedLimit <= 0 || l.Capacity <= 0 {
+			return fmt.Errorf("roadnet: link %d has non-positive attributes", l.ID)
+		}
+	}
+	for v, outs := range n.out {
+		for _, id := range outs {
+			if n.Links[id].From != v {
+				return fmt.Errorf("roadnet: adjacency out[%d] contains link %d with From=%d", v, id, n.Links[id].From)
+			}
+		}
+	}
+	for v, ins := range n.in {
+		for _, id := range ins {
+			if n.Links[id].To != v {
+				return fmt.Errorf("roadnet: adjacency in[%d] contains link %d with To=%d", v, id, n.Links[id].To)
+			}
+		}
+	}
+	return nil
+}
+
+// StronglyConnected reports whether every node can reach every other node —
+// a requirement for OD routing to be well-defined on generated networks.
+func (n *Network) StronglyConnected() bool {
+	if len(n.Nodes) == 0 {
+		return true
+	}
+	reach := func(start int, adj func(int) []int, endpoint func(Link) int) int {
+		seen := make([]bool, len(n.Nodes))
+		stack := []int{start}
+		seen[start] = true
+		count := 1
+		for len(stack) > 0 {
+			v := stack[len(stack)-1]
+			stack = stack[:len(stack)-1]
+			for _, id := range adj(v) {
+				u := endpoint(n.Links[id])
+				if !seen[u] {
+					seen[u] = true
+					count++
+					stack = append(stack, u)
+				}
+			}
+		}
+		return count
+	}
+	fwd := reach(0, n.Out, func(l Link) int { return l.To })
+	bwd := reach(0, n.In, func(l Link) int { return l.From })
+	return fwd == len(n.Nodes) && bwd == len(n.Nodes)
+}

@@ -1,0 +1,388 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+func mustGrid(t *testing.T, rows, cols int) *Network {
+	t.Helper()
+	net := Grid(GridConfig{Rows: rows, Cols: cols})
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	return net
+}
+
+func TestGridCounts(t *testing.T) {
+	net := mustGrid(t, 3, 3)
+	if net.NumNodes() != 9 {
+		t.Fatalf("nodes = %d, want 9", net.NumNodes())
+	}
+	// 3x3 grid has 12 roads = 24 directed links.
+	if net.NumLinks() != 24 {
+		t.Fatalf("links = %d, want 24", net.NumLinks())
+	}
+	if !net.StronglyConnected() {
+		t.Fatal("grid not strongly connected")
+	}
+}
+
+func TestGridAdjacencyConsistency(t *testing.T) {
+	net := mustGrid(t, 4, 5)
+	for v := 0; v < net.NumNodes(); v++ {
+		for _, id := range net.Out(v) {
+			if net.Links[id].From != v {
+				t.Fatalf("out adjacency wrong at node %d link %d", v, id)
+			}
+		}
+		for _, id := range net.In(v) {
+			if net.Links[id].To != v {
+				t.Fatalf("in adjacency wrong at node %d link %d", v, id)
+			}
+		}
+	}
+}
+
+func TestAddLinkValidation(t *testing.T) {
+	net := New()
+	a := net.AddNode(0, 0)
+	b := net.AddNode(100, 0)
+	for _, fn := range []func(){
+		func() { net.AddLink(a, a, 100, 1, 10, 0) },  // self loop
+		func() { net.AddLink(a, 99, 100, 1, 10, 0) }, // bad endpoint
+		func() { net.AddLink(a, b, -5, 1, 10, 0) },   // bad length
+		func() { net.AddLink(a, b, 100, 0, 10, 0) },  // bad lanes
+		func() { net.AddLink(a, b, 100, 1, 0, 0) },   // bad speed
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Fatal("invalid AddLink did not panic")
+				}
+			}()
+			fn()
+		}()
+	}
+	id := net.AddLink(a, b, 100, 2, 10, 0)
+	if got := net.Links[id].Capacity; got != 1.0 {
+		t.Fatalf("default capacity = %v, want 1.0 (0.5/lane)", got)
+	}
+	if got := net.Links[id].FreeFlowTime(); got != 10 {
+		t.Fatalf("FreeFlowTime = %v, want 10", got)
+	}
+}
+
+func TestShortestPathOnGrid(t *testing.T) {
+	net := mustGrid(t, 3, 3)
+	// Corner to corner: manhattan distance 4 blocks of 300m at 13.9 m/s.
+	route, cost, err := net.ShortestPath(0, 8, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !route.Valid(net, 0, 8) {
+		t.Fatalf("invalid route %v", route)
+	}
+	if len(route) != 4 {
+		t.Fatalf("route length = %d links, want 4", len(route))
+	}
+	wantCost := 4 * 300 / 13.9
+	if math.Abs(cost-wantCost) > 1e-9 {
+		t.Fatalf("cost = %v, want %v", cost, wantCost)
+	}
+}
+
+func TestShortestPathSameNode(t *testing.T) {
+	net := mustGrid(t, 2, 2)
+	route, cost, err := net.ShortestPath(1, 1, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 0 || cost != 0 {
+		t.Fatalf("self path = %v cost %v", route, cost)
+	}
+}
+
+func TestShortestPathNoPath(t *testing.T) {
+	net := New()
+	a := net.AddNode(0, 0)
+	b := net.AddNode(100, 0)
+	net.AddLink(a, b, 100, 1, 10, 0) // one-way only
+	if _, _, err := net.ShortestPath(b, a, nil, nil); err == nil {
+		t.Fatal("expected no-path error")
+	}
+}
+
+func TestShortestPathRespectsWeights(t *testing.T) {
+	// Two routes 0->2: direct slow link vs detour via 1.
+	net := New()
+	n0 := net.AddNode(0, 0)
+	n1 := net.AddNode(1, 1)
+	n2 := net.AddNode(2, 0)
+	direct := net.AddLink(n0, n2, 200, 1, 10, 0)
+	via1 := net.AddLink(n0, n1, 100, 1, 10, 0)
+	via2 := net.AddLink(n1, n2, 100, 1, 10, 0)
+	// Free flow: direct = 20s, detour = 20s; bias weights to prefer detour.
+	weight := func(id int) float64 {
+		if id == direct {
+			return 100
+		}
+		return 5
+	}
+	route, cost, err := net.ShortestPath(n0, n2, weight, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 2 || route[0] != via1 || route[1] != via2 {
+		t.Fatalf("route = %v, want detour", route)
+	}
+	if cost != 10 {
+		t.Fatalf("cost = %v, want 10", cost)
+	}
+	// Banned detour forces the direct link.
+	route, _, err = net.ShortestPath(n0, n2, weight, map[int]bool{via1: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(route) != 1 || route[0] != direct {
+		t.Fatalf("banned route = %v, want direct", route)
+	}
+}
+
+func TestKShortestPathsDistinctAndOrdered(t *testing.T) {
+	net := mustGrid(t, 3, 3)
+	paths, err := net.KShortestPaths(0, 8, 4, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) < 2 {
+		t.Fatalf("got %d paths, want >= 2", len(paths))
+	}
+	seen := map[string]bool{}
+	prevCost := -1.0
+	for _, p := range paths {
+		if !p.Valid(net, 0, 8) {
+			t.Fatalf("invalid path %v", p)
+		}
+		key := routeKey(p)
+		if seen[key] {
+			t.Fatalf("duplicate path %v", p)
+		}
+		seen[key] = true
+		cost := p.TravelTime(func(id int) float64 { return net.Links[id].FreeFlowTime() })
+		if cost < prevCost-1e-9 {
+			t.Fatalf("paths not ordered by cost: %v after %v", cost, prevCost)
+		}
+		prevCost = cost
+	}
+	// In a 3x3 grid all corner-to-corner shortest routes have 4 links; the
+	// first several k-shortest should all cost the same.
+	first := paths[0].TravelTime(func(id int) float64 { return net.Links[id].FreeFlowTime() })
+	second := paths[1].TravelTime(func(id int) float64 { return net.Links[id].FreeFlowTime() })
+	if math.Abs(first-second) > 1e-9 {
+		t.Fatalf("expected tied shortest costs, got %v vs %v", first, second)
+	}
+}
+
+func TestKShortestPathsLoopless(t *testing.T) {
+	net := mustGrid(t, 3, 3)
+	paths, err := net.KShortestPaths(0, 4, 6, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, p := range paths {
+		visited := map[int]bool{0: true}
+		for _, id := range p {
+			to := net.Links[id].To
+			if visited[to] {
+				t.Fatalf("path %v revisits node %d", p, to)
+			}
+			visited[to] = true
+		}
+	}
+}
+
+func TestRouteHelpers(t *testing.T) {
+	net := mustGrid(t, 2, 2)
+	route, _, err := net.ShortestPath(0, 3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !route.Contains(route[0]) {
+		t.Fatal("Contains failed for member link")
+	}
+	if route.Contains(-1) {
+		t.Fatal("Contains true for absent link")
+	}
+	if math.Abs(route.Length(net)-600) > 1e-9 {
+		t.Fatalf("Length = %v, want 600", route.Length(net))
+	}
+}
+
+func TestGridForIntersections(t *testing.T) {
+	for _, n := range []int{10, 50, 100, 500, 1000} {
+		net := GridForIntersections(n)
+		if net.NumNodes() < n {
+			t.Fatalf("GridForIntersections(%d) has only %d nodes", n, net.NumNodes())
+		}
+		if float64(net.NumNodes()) > 1.4*float64(n)+2 {
+			t.Fatalf("GridForIntersections(%d) overshoots with %d nodes", n, net.NumNodes())
+		}
+		if !net.StronglyConnected() {
+			t.Fatalf("GridForIntersections(%d) not strongly connected", n)
+		}
+	}
+}
+
+func TestCityGeneratorScaleAndConnectivity(t *testing.T) {
+	net := City(CityConfig{TargetIntersections: 46, TargetRoads: 63, Seed: 7})
+	if err := net.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if !net.StronglyConnected() {
+		t.Fatal("city not strongly connected")
+	}
+	roads := net.NumLinks() / 2
+	if roads < 50 || roads > 90 {
+		t.Fatalf("city roads = %d, want near 63", roads)
+	}
+}
+
+func TestCityGeneratorDeterministic(t *testing.T) {
+	a := City(CityConfig{TargetIntersections: 30, TargetRoads: 40, Seed: 3})
+	b := City(CityConfig{TargetIntersections: 30, TargetRoads: 40, Seed: 3})
+	if a.NumNodes() != b.NumNodes() || a.NumLinks() != b.NumLinks() {
+		t.Fatal("city generation not deterministic")
+	}
+	for i := range a.Links {
+		if a.Links[i] != b.Links[i] {
+			t.Fatalf("link %d differs between runs", i)
+		}
+	}
+}
+
+func TestCityHighwayGates(t *testing.T) {
+	base := City(CityConfig{TargetIntersections: 16, Seed: 1})
+	gated := City(CityConfig{TargetIntersections: 16, HighwayGates: 3, Seed: 1})
+	if gated.NumNodes() != base.NumNodes()+3 {
+		t.Fatalf("gates: %d nodes vs base %d", gated.NumNodes(), base.NumNodes())
+	}
+	if !gated.StronglyConnected() {
+		t.Fatal("gated city not strongly connected")
+	}
+	// Gate links must be fast feeders.
+	fast := 0
+	for _, l := range gated.Links {
+		if l.SpeedLimit == 25.0 {
+			fast++
+		}
+	}
+	if fast != 6 { // 3 roads x 2 directions
+		t.Fatalf("fast feeder links = %d, want 6", fast)
+	}
+}
+
+func TestPartitionCoversAllNodes(t *testing.T) {
+	net := mustGrid(t, 4, 4)
+	regions := Partition(net, 2, 2, rand.New(rand.NewSource(1)))
+	if len(regions) != 4 {
+		t.Fatalf("regions = %d, want 4", len(regions))
+	}
+	seen := map[int]bool{}
+	for _, r := range regions {
+		for _, nd := range r.Nodes {
+			if seen[nd] {
+				t.Fatalf("node %d in two regions", nd)
+			}
+			seen[nd] = true
+		}
+		anchorInRegion := false
+		for _, nd := range r.Nodes {
+			if nd == r.Anchor {
+				anchorInRegion = true
+			}
+		}
+		if !anchorInRegion {
+			t.Fatalf("region %d anchor %d not a member", r.ID, r.Anchor)
+		}
+		if r.Population <= 0 {
+			t.Fatalf("region %d has non-positive population", r.ID)
+		}
+	}
+	if len(seen) != net.NumNodes() {
+		t.Fatalf("partition covers %d of %d nodes", len(seen), net.NumNodes())
+	}
+}
+
+func TestPerNodeRegions(t *testing.T) {
+	net := mustGrid(t, 3, 3)
+	regions := PerNodeRegions(net, rand.New(rand.NewSource(2)))
+	if len(regions) != 9 {
+		t.Fatalf("regions = %d, want 9", len(regions))
+	}
+	for i, r := range regions {
+		if r.Anchor != i || len(r.Nodes) != 1 {
+			t.Fatalf("region %d malformed: %+v", i, r)
+		}
+	}
+}
+
+func TestSelectODPairs(t *testing.T) {
+	net := mustGrid(t, 3, 3)
+	regions := PerNodeRegions(net, nil)
+	rng := rand.New(rand.NewSource(3))
+	all := SelectODPairs(regions, 0, rng)
+	if len(all) != 72 { // 9*8 ordered pairs
+		t.Fatalf("all pairs = %d, want 72", len(all))
+	}
+	some := SelectODPairs(regions, 10, rand.New(rand.NewSource(3)))
+	if len(some) != 10 {
+		t.Fatalf("selected = %d, want 10", len(some))
+	}
+	seen := map[ODPair]bool{}
+	for _, p := range some {
+		if p.Origin == p.Dest {
+			t.Fatalf("OD pair with origin == dest: %+v", p)
+		}
+		if seen[p] {
+			t.Fatalf("duplicate OD pair %+v", p)
+		}
+		seen[p] = true
+	}
+	// Deterministic for the same seed.
+	again := SelectODPairs(regions, 10, rand.New(rand.NewSource(3)))
+	for i := range some {
+		if some[i] != again[i] {
+			t.Fatal("SelectODPairs not deterministic")
+		}
+	}
+}
+
+func TestRegionDistance(t *testing.T) {
+	a := Region{CX: 0, CY: 0}
+	b := Region{CX: 3, CY: 4}
+	if RegionDistance(a, b) != 5 {
+		t.Fatalf("RegionDistance = %v, want 5", RegionDistance(a, b))
+	}
+}
+
+func TestShortestPathTriangleInequalityProperty(t *testing.T) {
+	// dist(a,c) <= dist(a,b) + dist(b,c) for shortest-path costs.
+	net := City(CityConfig{TargetIntersections: 25, Seed: 11})
+	rng := rand.New(rand.NewSource(4))
+	for trial := 0; trial < 30; trial++ {
+		a := rng.Intn(net.NumNodes())
+		b := rng.Intn(net.NumNodes())
+		c := rng.Intn(net.NumNodes())
+		_, dac, err1 := net.ShortestPath(a, c, nil, nil)
+		_, dab, err2 := net.ShortestPath(a, b, nil, nil)
+		_, dbc, err3 := net.ShortestPath(b, c, nil, nil)
+		if err1 != nil || err2 != nil || err3 != nil {
+			t.Fatal("unexpected routing failure in connected city")
+		}
+		if dac > dab+dbc+1e-9 {
+			t.Fatalf("triangle inequality violated: d(%d,%d)=%v > %v+%v", a, c, dac, dab, dbc)
+		}
+	}
+}

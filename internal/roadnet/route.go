@@ -1,0 +1,252 @@
+package roadnet
+
+import (
+	"container/heap"
+	"fmt"
+	"math"
+)
+
+// Route is a path through the network represented as an ordered sequence of
+// link IDs. Consecutive links share an intersection.
+type Route []int
+
+// Valid reports whether the route is a connected path in net starting at
+// from and ending at to.
+func (r Route) Valid(net *Network, from, to int) bool {
+	if len(r) == 0 {
+		return from == to
+	}
+	if net.Links[r[0]].From != from || net.Links[r[len(r)-1]].To != to {
+		return false
+	}
+	for i := 1; i < len(r); i++ {
+		if net.Links[r[i-1]].To != net.Links[r[i]].From {
+			return false
+		}
+	}
+	return true
+}
+
+// Contains reports whether the route traverses the given link.
+func (r Route) Contains(linkID int) bool {
+	for _, id := range r {
+		if id == linkID {
+			return true
+		}
+	}
+	return false
+}
+
+// TravelTime sums per-link travel times along the route. weight maps a link
+// ID to its current traversal time in seconds.
+func (r Route) TravelTime(weight func(linkID int) float64) float64 {
+	t := 0.0
+	for _, id := range r {
+		t += weight(id)
+	}
+	return t
+}
+
+// Length sums the route's physical length in meters.
+func (r Route) Length(net *Network) float64 {
+	s := 0.0
+	for _, id := range r {
+		s += net.Links[id].Length
+	}
+	return s
+}
+
+// pqItem is a priority-queue entry for Dijkstra.
+type pqItem struct {
+	node int
+	dist float64
+}
+
+type pq []pqItem
+
+func (p pq) Len() int            { return len(p) }
+func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
+func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
+func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
+func (p *pq) Pop() interface{} {
+	old := *p
+	it := old[len(old)-1]
+	*p = old[:len(old)-1]
+	return it
+}
+
+// ShortestPath runs Dijkstra from `from` to `to` using the supplied per-link
+// weight (seconds; must be non-negative). A nil weight uses free-flow times,
+// i.e., the "fastest route under no congestion" the paper's simplified
+// routing policy assumes. banned, when non-nil, marks links that must not be
+// used (needed by Yen's algorithm and by road-work scenarios).
+func (net *Network) ShortestPath(from, to int, weight func(linkID int) float64, banned map[int]bool) (Route, float64, error) {
+	if weight == nil {
+		weight = func(id int) float64 { return net.Links[id].FreeFlowTime() }
+	}
+	nNodes := net.NumNodes()
+	dist := make([]float64, nNodes)
+	prevLink := make([]int, nNodes)
+	done := make([]bool, nNodes)
+	for i := range dist {
+		dist[i] = math.Inf(1)
+		prevLink[i] = -1
+	}
+	dist[from] = 0
+	q := &pq{{node: from, dist: 0}}
+	for q.Len() > 0 {
+		it := heap.Pop(q).(pqItem)
+		if done[it.node] {
+			continue
+		}
+		done[it.node] = true
+		if it.node == to {
+			break
+		}
+		for _, id := range net.Out(it.node) {
+			if banned != nil && banned[id] {
+				continue
+			}
+			w := weight(id)
+			if w < 0 {
+				panic(fmt.Sprintf("roadnet: negative link weight %v on link %d", w, id))
+			}
+			u := net.Links[id].To
+			if nd := it.dist + w; nd < dist[u] {
+				dist[u] = nd
+				prevLink[u] = id
+				heap.Push(q, pqItem{node: u, dist: nd})
+			}
+		}
+	}
+	if math.IsInf(dist[to], 1) {
+		return nil, 0, fmt.Errorf("roadnet: no path from %d to %d", from, to)
+	}
+	// Reconstruct.
+	var rev Route
+	for v := to; v != from; {
+		id := prevLink[v]
+		rev = append(rev, id)
+		v = net.Links[id].From
+	}
+	route := make(Route, len(rev))
+	for i, id := range rev {
+		route[len(rev)-1-i] = id
+	}
+	return route, dist[to], nil
+}
+
+// KShortestPaths returns up to k loopless shortest paths from `from` to `to`
+// (Yen's algorithm), ordered by increasing travel time. It always returns at
+// least one path when one exists. This backs the OD→route module when the
+// single-route simplification is lifted (Eq. 3).
+func (net *Network) KShortestPaths(from, to, k int, weight func(linkID int) float64) ([]Route, error) {
+	if weight == nil {
+		weight = func(id int) float64 { return net.Links[id].FreeFlowTime() }
+	}
+	best, _, err := net.ShortestPath(from, to, weight, nil)
+	if err != nil {
+		return nil, err
+	}
+	paths := []Route{best}
+	type candidate struct {
+		route Route
+		cost  float64
+	}
+	var candidates []candidate
+
+	seen := map[string]bool{routeKey(best): true}
+
+	for len(paths) < k {
+		prev := paths[len(paths)-1]
+		// Spur from every node of the previous path.
+		for i := 0; i <= len(prev)-1; i++ {
+			spurNode := from
+			if i > 0 {
+				spurNode = net.Links[prev[i-1]].To
+			}
+			rootPath := prev[:i]
+
+			banned := make(map[int]bool)
+			// Ban the next edge of every accepted path sharing this root.
+			for _, p := range paths {
+				if len(p) > i && sameRoute(p[:i], rootPath) {
+					banned[p[i]] = true
+				}
+			}
+			// Ban root-path links to keep the result loopless.
+			rootNodes := map[int]bool{from: true}
+			for _, id := range rootPath {
+				rootNodes[net.Links[id].To] = true
+			}
+			spur, _, err := net.ShortestPath(spurNode, to, func(id int) float64 {
+				// The spur must stay loopless: never re-enter any node of the
+				// root path (including the spur node itself).
+				if rootNodes[net.Links[id].To] {
+					return 1e18 // effectively banned, keeps Dijkstra total finite-checkable
+				}
+				return weight(id)
+			}, banned)
+			if err != nil {
+				continue
+			}
+			total := append(append(Route{}, rootPath...), spur...)
+			if !total.Valid(net, from, to) || !loopless(net, from, total) {
+				continue
+			}
+			cost := total.TravelTime(weight)
+			key := routeKey(total)
+			if seen[key] {
+				continue
+			}
+			seen[key] = true
+			candidates = append(candidates, candidate{route: total, cost: cost})
+		}
+		if len(candidates) == 0 {
+			break
+		}
+		// Pick cheapest candidate.
+		bestIdx := 0
+		for i := 1; i < len(candidates); i++ {
+			if candidates[i].cost < candidates[bestIdx].cost {
+				bestIdx = i
+			}
+		}
+		paths = append(paths, candidates[bestIdx].route)
+		candidates = append(candidates[:bestIdx], candidates[bestIdx+1:]...)
+	}
+	return paths, nil
+}
+
+// loopless reports whether the route visits no node twice.
+func loopless(net *Network, from int, r Route) bool {
+	visited := map[int]bool{from: true}
+	for _, id := range r {
+		to := net.Links[id].To
+		if visited[to] {
+			return false
+		}
+		visited[to] = true
+	}
+	return true
+}
+
+func sameRoute(a, b Route) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			return false
+		}
+	}
+	return true
+}
+
+func routeKey(r Route) string {
+	key := make([]byte, 0, len(r)*3)
+	for _, id := range r {
+		key = append(key, byte(id), byte(id>>8), byte(id>>16))
+	}
+	return string(key)
+}

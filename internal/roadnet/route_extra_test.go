@@ -1,0 +1,143 @@
+package roadnet
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// TestKShortestOnIrregularCityProperty validates Yen's algorithm on the
+// irregular city generator: all paths valid, loopless, unique, and ordered.
+func TestKShortestOnIrregularCityProperty(t *testing.T) {
+	net := City(CityConfig{TargetIntersections: 30, TargetRoads: 42, Seed: 9})
+	rng := rand.New(rand.NewSource(10))
+	weight := func(id int) float64 { return net.Links[id].FreeFlowTime() }
+	for trial := 0; trial < 15; trial++ {
+		from := rng.Intn(net.NumNodes())
+		to := rng.Intn(net.NumNodes())
+		if from == to {
+			continue
+		}
+		paths, err := net.KShortestPaths(from, to, 4, nil)
+		if err != nil {
+			t.Fatalf("trial %d: %v", trial, err)
+		}
+		seen := map[string]bool{}
+		prev := -1.0
+		for _, p := range paths {
+			if !p.Valid(net, from, to) {
+				t.Fatalf("invalid path %v", p)
+			}
+			if !loopless(net, from, p) {
+				t.Fatalf("loopy path %v", p)
+			}
+			key := routeKey(p)
+			if seen[key] {
+				t.Fatalf("duplicate path %v", p)
+			}
+			seen[key] = true
+			c := p.TravelTime(weight)
+			if c < prev-1e-9 {
+				t.Fatalf("costs out of order: %v after %v", c, prev)
+			}
+			prev = c
+		}
+		// The first path must equal Dijkstra's optimum.
+		best, bestCost, err := net.ShortestPath(from, to, nil, nil)
+		if err != nil {
+			t.Fatal(err)
+		}
+		_ = best
+		if math.Abs(paths[0].TravelTime(weight)-bestCost) > 1e-9 {
+			t.Fatalf("k-shortest[0] cost %v != Dijkstra %v", paths[0].TravelTime(weight), bestCost)
+		}
+	}
+}
+
+// TestDijkstraMatchesBruteForceOnSmallGraph compares Dijkstra against
+// exhaustive path enumeration on a 2×3 grid.
+func TestDijkstraMatchesBruteForceOnSmallGraph(t *testing.T) {
+	net := Grid(GridConfig{Rows: 2, Cols: 3})
+	weight := func(id int) float64 { return net.Links[id].FreeFlowTime() }
+
+	// Brute force: DFS over simple paths.
+	var bruteCost func(from, to int, visited map[int]bool) float64
+	bruteCost = func(from, to int, visited map[int]bool) float64 {
+		if from == to {
+			return 0
+		}
+		best := math.Inf(1)
+		visited[from] = true
+		for _, id := range net.Out(from) {
+			next := net.Links[id].To
+			if visited[next] {
+				continue
+			}
+			if c := weight(id) + bruteCost(next, to, visited); c < best {
+				best = c
+			}
+		}
+		delete(visited, from)
+		return best
+	}
+	for from := 0; from < net.NumNodes(); from++ {
+		for to := 0; to < net.NumNodes(); to++ {
+			if from == to {
+				continue
+			}
+			_, got, err := net.ShortestPath(from, to, nil, nil)
+			if err != nil {
+				t.Fatal(err)
+			}
+			want := bruteCost(from, to, map[int]bool{})
+			if math.Abs(got-want) > 1e-9 {
+				t.Fatalf("dijkstra(%d,%d) = %v, brute force %v", from, to, got, want)
+			}
+		}
+	}
+}
+
+// TestTimeDependentWeightsRerouting verifies that congestion-aware weights
+// reroute around a slowed link.
+func TestTimeDependentWeightsRerouting(t *testing.T) {
+	net := Grid(GridConfig{Rows: 3, Cols: 3})
+	free, _, err := net.ShortestPath(0, 2, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Slow the first link of the free-flow route drastically.
+	slowed := free[0]
+	congested := func(id int) float64 {
+		w := net.Links[id].FreeFlowTime()
+		if id == slowed {
+			return w * 100
+		}
+		return w
+	}
+	alt, _, err := net.ShortestPath(0, 2, congested, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if alt.Contains(slowed) {
+		t.Fatal("congestion-aware routing kept the slowed link")
+	}
+}
+
+// TestRouteTravelTimeAdditive checks TravelTime sums per-link weights.
+func TestRouteTravelTimeAdditive(t *testing.T) {
+	net := Grid(GridConfig{Rows: 2, Cols: 2})
+	r, cost, err := net.ShortestPath(0, 3, nil, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum := 0.0
+	for _, id := range r {
+		sum += net.Links[id].FreeFlowTime()
+	}
+	if math.Abs(sum-cost) > 1e-9 {
+		t.Fatalf("cost %v != link sum %v", cost, sum)
+	}
+	if got := r.TravelTime(func(int) float64 { return 1 }); got != float64(len(r)) {
+		t.Fatalf("unit TravelTime = %v, want %v", got, len(r))
+	}
+}

@@ -1,0 +1,210 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"ovs/internal/roadnet"
+	"ovs/internal/tensor"
+)
+
+// mesoVehicle is a vehicle in the mesoscopic engine. Vehicles on a link all
+// move at the link's current fundamental-diagram speed.
+type mesoVehicle struct {
+	route     roadnet.Route
+	idx       int     // position in route
+	pos       float64 // meters from link start
+	spawnStep int
+	inNetwork bool
+}
+
+// runMeso executes the fundamental-diagram queue engine.
+func (s *Simulator) runMeso(d Demand) (*Result, error) {
+	cfg := s.Cfg
+	net := s.Net
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	chooser, err := newRouteChooser(net, cfg, d.ODs)
+	if err != nil {
+		return nil, err
+	}
+
+	spawns := buildSpawns(d, cfg, rng)
+	vehicles := make([]mesoVehicle, 0, len(spawns))
+
+	m := net.NumLinks()
+	stepsPerInterval := int(cfg.IntervalSec / cfg.StepSec)
+	totalSteps := cfg.Intervals * stepsPerInterval
+
+	// Per-link state.
+	occupants := make([][]int, m) // FIFO: [0] is closest to link end
+	maxVeh := make([]float64, m)
+	freeSpeed := make([]float64, m)
+	capPerStep := make([]float64, m)
+	credit := make([]float64, m)
+	curSpeed := make([]float64, m)
+	for j := range net.Links {
+		l := &net.Links[j]
+		maxVeh[j] = math.Max(1, l.Length*float64(l.Lanes)*cfg.JamDensity)
+		freeSpeed[j] = s.effectiveSpeedLimit(l)
+		capPerStep[j] = s.effectiveCapacity(l) * cfg.StepSec
+		curSpeed[j] = freeSpeed[j]
+	}
+
+	res := &Result{
+		Volume:  tensor.New(m, cfg.Intervals),
+		Entries: tensor.New(m, cfg.Intervals),
+		Speed:   tensor.New(m, cfg.Intervals),
+	}
+	// Accumulators for occupancy-weighted speed.
+	speedSum := tensor.New(m, cfg.Intervals)  // Σ speed·occupancy per step
+	weightSum := tensor.New(m, cfg.Intervals) // Σ occupancy per step
+
+	// Entry queues: vehicles waiting at their origin for space on the first
+	// link, FIFO per origin link.
+	entryQueue := make(map[int][]int)
+
+	nextSpawn := 0
+	for step := 0; step < totalSteps; step++ {
+		interval := step / stepsPerInterval
+
+		// 1. Update link speeds from density via the fundamental diagram.
+		for j := 0; j < m; j++ {
+			k := float64(len(occupants[j])) / maxVeh[j]
+			v := freeSpeed[j] * cfg.Diagram.SpeedFraction(k)
+			if v < cfg.MinSpeed {
+				v = cfg.MinSpeed
+			}
+			curSpeed[j] = v
+		}
+
+		// 2. Advance vehicles.
+		for j := 0; j < m; j++ {
+			adv := curSpeed[j] * cfg.StepSec
+			length := net.Links[j].Length
+			for _, vi := range occupants[j] {
+				veh := &vehicles[vi]
+				veh.pos += adv
+				if veh.pos > length {
+					veh.pos = length
+				}
+			}
+		}
+
+		// 3. Transfers at link ends, capacity- and space-limited; a red
+		// signal blocks the approach entirely.
+		for j := 0; j < m; j++ {
+			if cfg.Signals != nil && !cfg.Signals.Green(net, j, float64(step)*cfg.StepSec) {
+				continue
+			}
+			credit[j] += capPerStep[j]
+			if credit[j] > capPerStep[j]*5 {
+				credit[j] = capPerStep[j] * 5 // bounded burst
+			}
+			length := net.Links[j].Length
+			for len(occupants[j]) > 0 {
+				vi := occupants[j][0]
+				veh := &vehicles[vi]
+				if veh.pos < length || credit[j] < 1 {
+					break
+				}
+				if veh.idx == len(veh.route)-1 {
+					// Trip complete.
+					occupants[j] = occupants[j][1:]
+					credit[j]--
+					veh.inNetwork = false
+					res.Completed++
+					res.TotalTravelSec += float64(step-veh.spawnStep) * cfg.StepSec
+					continue
+				}
+				next := veh.route[veh.idx+1]
+				if float64(len(occupants[next])) >= maxVeh[next] {
+					break // spillback: receiving link full
+				}
+				occupants[j] = occupants[j][1:]
+				credit[j]--
+				veh.idx++
+				veh.pos = 0
+				occupants[next] = append(occupants[next], vi)
+				res.Entries.Add2(1, next, interval)
+			}
+		}
+
+		// 4. Spawn departures due at this step (and retry queued entries).
+		// Iterate origins in sorted order: map iteration order must not leak
+		// into simulation results (determinism).
+		origins := make([]int, 0, len(entryQueue))
+		for origin := range entryQueue {
+			origins = append(origins, origin)
+		}
+		sort.Ints(origins)
+		for _, origin := range origins {
+			queue := entryQueue[origin]
+			for len(queue) > 0 {
+				vi := queue[0]
+				first := vehicles[vi].route[0]
+				if float64(len(occupants[first])) >= maxVeh[first] {
+					break
+				}
+				queue = queue[1:]
+				s.enterNetwork(&vehicles[vi], vi, step, interval, occupants, res)
+			}
+			if len(queue) == 0 {
+				delete(entryQueue, origin)
+			} else {
+				entryQueue[origin] = queue
+			}
+		}
+		for nextSpawn < len(spawns) && spawns[nextSpawn].step <= step {
+			ev := spawns[nextSpawn]
+			nextSpawn++
+			route := chooser.choose(ev.od, curSpeed, rng)
+			vehicles = append(vehicles, mesoVehicle{route: route, spawnStep: step})
+			vi := len(vehicles) - 1
+			first := route[0]
+			if float64(len(occupants[first])) >= maxVeh[first] {
+				entryQueue[net.Links[first].From] = append(entryQueue[net.Links[first].From], vi)
+				continue
+			}
+			s.enterNetwork(&vehicles[vi], vi, step, interval, occupants, res)
+		}
+
+		// 5. Record occupancy and speed observations.
+		for j := 0; j < m; j++ {
+			occ := float64(len(occupants[j]))
+			res.Volume.Add2(occ, j, interval)
+			if occ > 0 {
+				speedSum.Add2(curSpeed[j]*occ, j, interval)
+				weightSum.Add2(occ, j, interval)
+			}
+		}
+	}
+
+	// Occupancy: mean vehicles present per step within each interval.
+	res.Volume = tensor.Scale(res.Volume, 1/float64(stepsPerInterval))
+
+	// Finalize speeds: occupancy-weighted mean, free-flow when unobserved.
+	for j := 0; j < m; j++ {
+		for t := 0; t < cfg.Intervals; t++ {
+			w := weightSum.At(j, t)
+			if w > 0 {
+				res.Speed.Set(speedSum.At(j, t)/w, j, t)
+			} else {
+				res.Speed.Set(freeSpeed[j], j, t)
+			}
+		}
+	}
+	res.Spawned = len(vehicles)
+	return res, nil
+}
+
+// enterNetwork places a vehicle on the first link of its route.
+func (s *Simulator) enterNetwork(veh *mesoVehicle, vi, step, interval int, occupants [][]int, res *Result) {
+	veh.inNetwork = true
+	veh.idx = 0
+	veh.pos = 0
+	first := veh.route[0]
+	occupants[first] = append(occupants[first], vi)
+	res.Entries.Add2(1, first, interval)
+}

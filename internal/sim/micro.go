@@ -1,0 +1,267 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+
+	"ovs/internal/roadnet"
+	"ovs/internal/tensor"
+)
+
+// IDM car-following parameters (Treiber et al.), the standard microscopic
+// model. CityFlow uses a comparable per-vehicle car-following scheme.
+const (
+	idmMaxAccel   = 2.0 // m/s², maximum acceleration
+	idmComfBrake  = 3.0 // m/s², comfortable deceleration
+	idmMinGap     = 2.0 // m, standstill minimum gap
+	idmHeadway    = 1.2 // s, desired time headway
+	idmVehicleLen = 5.0 // m, physical vehicle length
+	idmAccelExpo  = 4.0 // acceleration exponent
+)
+
+// microVehicle carries full kinematic state.
+type microVehicle struct {
+	route     roadnet.Route
+	idx       int
+	pos       float64 // front-bumper position from link start, meters
+	speed     float64 // m/s
+	spawnStep int
+}
+
+// runMicro executes the IDM car-following engine. Each link is treated as a
+// single ordered lane (no overtaking); intersections transfer the leading
+// vehicle when the receiving link has headway space.
+func (s *Simulator) runMicro(d Demand) (*Result, error) {
+	cfg := s.Cfg
+	net := s.Net
+	rng := rand.New(rand.NewSource(cfg.Seed))
+
+	// Micro route choice evaluates candidates at free-flow times (the engine
+	// does not maintain per-link aggregate speeds).
+	chooser, err := newRouteChooser(net, cfg, d.ODs)
+	if err != nil {
+		return nil, err
+	}
+	spawns := buildSpawns(d, cfg, rng)
+	vehicles := make([]microVehicle, 0, len(spawns))
+
+	m := net.NumLinks()
+	stepsPerInterval := int(cfg.IntervalSec / cfg.StepSec)
+	totalSteps := cfg.Intervals * stepsPerInterval
+
+	// occupants[j] is ordered front-to-back: [0] is farthest along the link.
+	occupants := make([][]int, m)
+	freeSpeed := make([]float64, m)
+	// Effective per-link storage: lanes multiply how many vehicles fit, which
+	// the single-lane abstraction folds into a shorter effective spacing.
+	laneFactor := make([]float64, m)
+	for j := range net.Links {
+		l := &net.Links[j]
+		freeSpeed[j] = s.effectiveSpeedLimit(l)
+		laneFactor[j] = float64(l.Lanes)
+	}
+
+	res := &Result{
+		Volume:  tensor.New(m, cfg.Intervals),
+		Entries: tensor.New(m, cfg.Intervals),
+		Speed:   tensor.New(m, cfg.Intervals),
+	}
+	speedSum := tensor.New(m, cfg.Intervals)
+	weightSum := tensor.New(m, cfg.Intervals)
+
+	entryQueue := make(map[int][]int)
+
+	// spaceAt returns the gap (m) available at the entrance of link j.
+	spaceAt := func(j int) float64 {
+		if len(occupants[j]) == 0 {
+			return net.Links[j].Length
+		}
+		last := occupants[j][len(occupants[j])-1]
+		// Lanes let several vehicles share an entrance region; approximate by
+		// dividing the rear vehicle's blocking length across lanes.
+		return vehicles[last].pos - (idmVehicleLen+idmMinGap)/laneFactor[j]
+	}
+
+	enter := func(vi, step, interval int, initialSpeed float64) {
+		veh := &vehicles[vi]
+		veh.idx = 0
+		veh.pos = 0
+		veh.speed = initialSpeed
+		first := veh.route[0]
+		occupants[first] = append(occupants[first], vi)
+		res.Entries.Add2(1, first, interval)
+	}
+
+	nextSpawn := 0
+	for step := 0; step < totalSteps; step++ {
+		interval := step / stepsPerInterval
+
+		// 1. IDM acceleration update, link by link, leader to follower.
+		for j := 0; j < m; j++ {
+			occ := occupants[j]
+			length := net.Links[j].Length
+			for k, vi := range occ {
+				veh := &vehicles[vi]
+				v0 := freeSpeed[j]
+				var gap, dv float64
+				if k == 0 {
+					// Leader: look ahead into the next link.
+					gap = length - veh.pos + lookaheadGap(net, vehicles, occupants, veh)
+					dv = 0
+				} else {
+					lead := &vehicles[occ[k-1]]
+					gap = lead.pos - veh.pos - idmVehicleLen/laneFactor[j]
+					dv = veh.speed - lead.speed
+				}
+				if gap < 0.1 {
+					gap = 0.1
+				}
+				sStar := idmMinGap + veh.speed*idmHeadway + veh.speed*dv/(2*math.Sqrt(idmMaxAccel*idmComfBrake))
+				if sStar < idmMinGap {
+					sStar = idmMinGap
+				}
+				acc := idmMaxAccel * (1 - math.Pow(veh.speed/v0, idmAccelExpo) - (sStar/gap)*(sStar/gap))
+				veh.speed += acc * cfg.StepSec
+				if veh.speed < 0 {
+					veh.speed = 0
+				}
+				if veh.speed > v0 {
+					veh.speed = v0
+				}
+			}
+		}
+
+		// 2. Position update and transfers.
+		for j := 0; j < m; j++ {
+			length := net.Links[j].Length
+			occ := occupants[j]
+			for _, vi := range occ {
+				veh := &vehicles[vi]
+				veh.pos += veh.speed * cfg.StepSec
+			}
+			// Transfer/complete leading vehicles that crossed the link end.
+			// A red signal holds the leader at the stop line.
+			red := cfg.Signals != nil && !cfg.Signals.Green(net, j, float64(step)*cfg.StepSec)
+			for len(occupants[j]) > 0 {
+				vi := occupants[j][0]
+				veh := &vehicles[vi]
+				if veh.pos < length {
+					break
+				}
+				if red {
+					veh.pos = length
+					veh.speed = 0
+					break
+				}
+				if veh.idx == len(veh.route)-1 {
+					occupants[j] = occupants[j][1:]
+					res.Completed++
+					res.TotalTravelSec += float64(step-veh.spawnStep) * cfg.StepSec
+					continue
+				}
+				next := veh.route[veh.idx+1]
+				if spaceAt(next) < (idmVehicleLen+idmMinGap)/laneFactor[next] {
+					// Blocked at the junction: hold at the stop line.
+					veh.pos = length
+					veh.speed = 0
+					break
+				}
+				occupants[j] = occupants[j][1:]
+				veh.idx++
+				veh.pos -= length
+				if veh.pos > net.Links[next].Length {
+					veh.pos = net.Links[next].Length
+				}
+				occupants[next] = append(occupants[next], vi)
+				res.Entries.Add2(1, next, interval)
+			}
+		}
+
+		// 3. Entries: retry queued vehicles, then spawn this step's events.
+		origins := make([]int, 0, len(entryQueue))
+		for origin := range entryQueue {
+			origins = append(origins, origin)
+		}
+		sort.Ints(origins)
+		for _, origin := range origins {
+			queue := entryQueue[origin]
+			for len(queue) > 0 {
+				vi := queue[0]
+				first := vehicles[vi].route[0]
+				if spaceAt(first) < (idmVehicleLen+idmMinGap)/laneFactor[first] {
+					break
+				}
+				queue = queue[1:]
+				enter(vi, step, interval, math.Min(freeSpeed[first], 8))
+			}
+			if len(queue) == 0 {
+				delete(entryQueue, origin)
+			} else {
+				entryQueue[origin] = queue
+			}
+		}
+		for nextSpawn < len(spawns) && spawns[nextSpawn].step <= step {
+			ev := spawns[nextSpawn]
+			nextSpawn++
+			route := chooser.choose(ev.od, freeSpeed, rng)
+			vehicles = append(vehicles, microVehicle{route: route, spawnStep: step})
+			vi := len(vehicles) - 1
+			first := route[0]
+			if spaceAt(first) < (idmVehicleLen+idmMinGap)/laneFactor[first] {
+				entryQueue[net.Links[first].From] = append(entryQueue[net.Links[first].From], vi)
+				continue
+			}
+			enter(vi, step, interval, math.Min(freeSpeed[first], 8))
+		}
+
+		// 4. Occupancy and speed observations: mean vehicle speed per link.
+		for j := 0; j < m; j++ {
+			n := len(occupants[j])
+			res.Volume.Add2(float64(n), j, interval)
+			if n > 0 {
+				sum := 0.0
+				for _, vi := range occupants[j] {
+					sum += vehicles[vi].speed
+				}
+				speedSum.Add2(sum, j, interval)
+				weightSum.Add2(float64(n), j, interval)
+			}
+		}
+	}
+
+	res.Volume = tensor.Scale(res.Volume, 1/float64(stepsPerInterval))
+
+	for j := 0; j < m; j++ {
+		for t := 0; t < cfg.Intervals; t++ {
+			if w := weightSum.At(j, t); w > 0 {
+				res.Speed.Set(speedSum.At(j, t)/w, j, t)
+			} else {
+				res.Speed.Set(freeSpeed[j], j, t)
+			}
+		}
+	}
+	res.Spawned = len(vehicles)
+	return res, nil
+}
+
+// lookaheadGap estimates free space beyond the current link's end for the
+// leading vehicle: distance to the rear of the last vehicle on the next link
+// of its route, or a large open-road gap when the next link is clear (or the
+// vehicle is finishing its trip).
+func lookaheadGap(net *roadnet.Network, vehicles []microVehicle, occupants [][]int, veh *microVehicle) float64 {
+	if veh.idx == len(veh.route)-1 {
+		return 1e4 // destination ahead: open road
+	}
+	next := veh.route[veh.idx+1]
+	occ := occupants[next]
+	if len(occ) == 0 {
+		return 1e4
+	}
+	rear := &vehicles[occ[len(occ)-1]]
+	gap := rear.pos - idmVehicleLen
+	if gap < 0 {
+		gap = 0
+	}
+	return gap
+}

@@ -1,0 +1,96 @@
+package sim
+
+import (
+	"math"
+	"math/rand"
+
+	"ovs/internal/roadnet"
+)
+
+// routeChooser centralizes per-vehicle route selection for all routing
+// modes, so the meso and micro engines share one implementation.
+type routeChooser struct {
+	net    *roadnet.Network
+	cfg    Config
+	ods    []ODNodes
+	static []roadnet.Route   // best free-flow route per OD
+	sets   [][]roadnet.Route // k candidates per OD (stochastic mode)
+}
+
+// newRouteChooser precomputes the structures the configured mode needs.
+func newRouteChooser(net *roadnet.Network, cfg Config, ods []ODNodes) (*routeChooser, error) {
+	rc := &routeChooser{net: net, cfg: cfg, ods: ods}
+	rc.static = make([]roadnet.Route, len(ods))
+	for i, od := range ods {
+		r, _, err := net.ShortestPath(od.Origin, od.Dest, nil, nil)
+		if err != nil {
+			return nil, err
+		}
+		rc.static[i] = r
+	}
+	if cfg.Routing == StochasticRouting {
+		rc.sets = make([][]roadnet.Route, len(ods))
+		for i, od := range ods {
+			routes, err := net.KShortestPaths(od.Origin, od.Dest, cfg.RouteChoiceK, nil)
+			if err != nil {
+				return nil, err
+			}
+			rc.sets[i] = routes
+		}
+	}
+	return rc, nil
+}
+
+// choose picks a route for one vehicle of OD i. curSpeed gives the link
+// speeds at spawn time (used by dynamic and stochastic modes); rng drives
+// the stochastic draw.
+func (rc *routeChooser) choose(i int, curSpeed []float64, rng *rand.Rand) roadnet.Route {
+	switch rc.cfg.Routing {
+	case DynamicRouting:
+		route, _, err := rc.net.ShortestPath(rc.ods[i].Origin, rc.ods[i].Dest,
+			func(id int) float64 { return rc.net.Links[id].Length / curSpeed[id] }, nil)
+		if err != nil {
+			return rc.static[i]
+		}
+		return route
+	case StochasticRouting:
+		return rc.logitChoice(rc.sets[i], curSpeed, rng)
+	default:
+		return rc.static[i]
+	}
+}
+
+// logitChoice samples a route with probability ∝ exp(−θ·t/t_best) under the
+// current travel times (a C-logit-style stochastic route choice).
+func (rc *routeChooser) logitChoice(routes []roadnet.Route, curSpeed []float64, rng *rand.Rand) roadnet.Route {
+	if len(routes) == 1 {
+		return routes[0]
+	}
+	times := make([]float64, len(routes))
+	best := math.Inf(1)
+	for k, r := range routes {
+		t := r.TravelTime(func(id int) float64 { return rc.net.Links[id].Length / curSpeed[id] })
+		times[k] = t
+		if t < best {
+			best = t
+		}
+	}
+	if best <= 0 {
+		return routes[0]
+	}
+	weights := make([]float64, len(routes))
+	total := 0.0
+	for k, t := range times {
+		w := math.Exp(-rc.cfg.LogitTheta * (t/best - 1))
+		weights[k] = w
+		total += w
+	}
+	u := rng.Float64() * total
+	for k, w := range weights {
+		u -= w
+		if u <= 0 {
+			return routes[k]
+		}
+	}
+	return routes[len(routes)-1]
+}

@@ -1,0 +1,101 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+)
+
+// Solve solves the linear system A x = b for x, where A is a square rank-2
+// tensor (n×n) and b is rank-1 of length n, using Gaussian elimination with
+// partial pivoting. It returns an error for singular (or numerically
+// singular) systems. A and b are not modified.
+func Solve(a, b *Tensor) (*Tensor, error) {
+	if a.Rank() != 2 || a.shape[0] != a.shape[1] {
+		return nil, fmt.Errorf("tensor: Solve requires a square matrix, got %v", a.shape)
+	}
+	n := a.shape[0]
+	if b.Rank() != 1 || b.shape[0] != n {
+		return nil, fmt.Errorf("tensor: Solve rhs shape %v does not match matrix %v", b.shape, a.shape)
+	}
+	// Work on copies; augment implicitly.
+	m := a.Clone()
+	x := b.Clone()
+	for col := 0; col < n; col++ {
+		// Partial pivot.
+		pivot := col
+		best := math.Abs(m.Data[col*n+col])
+		for r := col + 1; r < n; r++ {
+			if v := math.Abs(m.Data[r*n+col]); v > best {
+				best, pivot = v, r
+			}
+		}
+		if best < 1e-12 {
+			return nil, fmt.Errorf("tensor: Solve matrix is singular at column %d", col)
+		}
+		if pivot != col {
+			for j := 0; j < n; j++ {
+				m.Data[col*n+j], m.Data[pivot*n+j] = m.Data[pivot*n+j], m.Data[col*n+j]
+			}
+			x.Data[col], x.Data[pivot] = x.Data[pivot], x.Data[col]
+		}
+		pv := m.Data[col*n+col]
+		for r := col + 1; r < n; r++ {
+			f := m.Data[r*n+col] / pv
+			if f == 0 {
+				continue
+			}
+			for j := col; j < n; j++ {
+				m.Data[r*n+j] -= f * m.Data[col*n+j]
+			}
+			x.Data[r] -= f * x.Data[col]
+		}
+	}
+	// Back substitution.
+	for r := n - 1; r >= 0; r-- {
+		s := x.Data[r]
+		for j := r + 1; j < n; j++ {
+			s -= m.Data[r*n+j] * x.Data[j]
+		}
+		x.Data[r] = s / m.Data[r*n+r]
+	}
+	return x, nil
+}
+
+// Ridge solves the regularized least-squares problem
+//
+//	min_W || X W - Y ||^2 + lambda ||W||^2
+//
+// where X is (s×p), Y is (s×q), returning W of shape (p×q). It forms the
+// normal equations (XᵀX + λI) W = XᵀY and solves them column by column.
+// This is the estimator used by the GLS baseline of §V-F to fit the linear
+// TOD→volume assignment matrix.
+func Ridge(x, y *Tensor, lambda float64) (*Tensor, error) {
+	if x.Rank() != 2 || y.Rank() != 2 {
+		return nil, fmt.Errorf("tensor: Ridge requires rank-2 operands, got %v, %v", x.shape, y.shape)
+	}
+	if x.shape[0] != y.shape[0] {
+		return nil, fmt.Errorf("tensor: Ridge sample counts differ: %v vs %v", x.shape, y.shape)
+	}
+	p, q := x.shape[1], y.shape[1]
+	xt := Transpose(x)
+	xtx := MatMul(xt, x)
+	for i := 0; i < p; i++ {
+		xtx.Data[i*p+i] += lambda
+	}
+	xty := MatMul(xt, y)
+	w := New(p, q)
+	col := New(p)
+	for j := 0; j < q; j++ {
+		for i := 0; i < p; i++ {
+			col.Data[i] = xty.Data[i*q+j]
+		}
+		sol, err := Solve(xtx, col)
+		if err != nil {
+			return nil, fmt.Errorf("tensor: Ridge column %d: %w", j, err)
+		}
+		for i := 0; i < p; i++ {
+			w.Data[i*q+j] = sol.Data[i]
+		}
+	}
+	return w, nil
+}

@@ -1,0 +1,107 @@
+package trafficio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+
+	"ovs/internal/roadnet"
+)
+
+// OSMDoc is a minimal OpenStreetMap-style export: nodes with lat/lon and
+// ways referencing node IDs. The paper collects its road networks from
+// OpenStreetMap; this importer lets a user bring a real extract (converted
+// to this JSON by any OSM tool) into the pipeline.
+type OSMDoc struct {
+	Nodes []OSMNode `json:"nodes"`
+	Ways  []OSMWay  `json:"ways"`
+}
+
+// OSMNode is one OSM node.
+type OSMNode struct {
+	ID  int64   `json:"id"`
+	Lat float64 `json:"lat"`
+	Lon float64 `json:"lon"`
+}
+
+// OSMWay is one OSM way (an ordered chain of node references).
+type OSMWay struct {
+	Nodes []int64 `json:"nodes"`
+	// Oneway marks directed ways; bidirectional otherwise.
+	Oneway bool `json:"oneway,omitempty"`
+	// Lanes per direction (default 1).
+	Lanes int `json:"lanes,omitempty"`
+	// MaxSpeedKmh is the speed limit (default 50).
+	MaxSpeedKmh float64 `json:"maxspeed_kmh,omitempty"`
+}
+
+// earthRadiusM is the mean Earth radius used by the equirectangular
+// projection.
+const earthRadiusM = 6_371_000
+
+// ImportOSM converts an OSM-style document into a road network. Coordinates
+// are projected with a local equirectangular projection around the extract's
+// centroid; way segments become links between consecutive nodes.
+func ImportOSM(r io.Reader) (*roadnet.Network, error) {
+	var doc OSMDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("trafficio: decode OSM: %w", err)
+	}
+	if len(doc.Nodes) == 0 {
+		return nil, fmt.Errorf("trafficio: OSM extract has no nodes")
+	}
+	// Projection origin: centroid.
+	var lat0, lon0 float64
+	for _, n := range doc.Nodes {
+		lat0 += n.Lat
+		lon0 += n.Lon
+	}
+	lat0 /= float64(len(doc.Nodes))
+	lon0 /= float64(len(doc.Nodes))
+	cosLat := math.Cos(lat0 * math.Pi / 180)
+
+	net := roadnet.New()
+	idMap := make(map[int64]int, len(doc.Nodes))
+	for _, n := range doc.Nodes {
+		if _, dup := idMap[n.ID]; dup {
+			return nil, fmt.Errorf("trafficio: duplicate OSM node id %d", n.ID)
+		}
+		x := (n.Lon - lon0) * math.Pi / 180 * earthRadiusM * cosLat
+		y := (n.Lat - lat0) * math.Pi / 180 * earthRadiusM
+		idMap[n.ID] = net.AddNode(x, y)
+	}
+	for wi, way := range doc.Ways {
+		if len(way.Nodes) < 2 {
+			return nil, fmt.Errorf("trafficio: way %d has fewer than 2 nodes", wi)
+		}
+		lanes := way.Lanes
+		if lanes <= 0 {
+			lanes = 1
+		}
+		speed := way.MaxSpeedKmh / 3.6
+		if speed <= 0 {
+			speed = 50.0 / 3.6
+		}
+		for i := 1; i < len(way.Nodes); i++ {
+			a, ok1 := idMap[way.Nodes[i-1]]
+			b, ok2 := idMap[way.Nodes[i]]
+			if !ok1 || !ok2 {
+				return nil, fmt.Errorf("trafficio: way %d references unknown node", wi)
+			}
+			length := net.Distance(a, b)
+			if length <= 0 {
+				return nil, fmt.Errorf("trafficio: way %d has coincident nodes %d-%d", wi, way.Nodes[i-1], way.Nodes[i])
+			}
+			if way.Oneway {
+				net.AddLink(a, b, length, lanes, speed, 0)
+			} else {
+				net.AddRoad(a, b, length, lanes, speed, 0)
+			}
+		}
+	}
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("trafficio: imported network invalid: %w", err)
+	}
+	return net, nil
+}

@@ -1,0 +1,172 @@
+// Package trafficio serializes the repository's traffic artifacts — road
+// networks, demand tensors, and simulation results — as stable JSON
+// documents, and imports networks from a minimal OSM-style node/way format.
+// The cmd tools build on it; downstream users can round-trip a city through
+// files and version control.
+package trafficio
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+
+	"ovs/internal/roadnet"
+	"ovs/internal/sim"
+	"ovs/internal/tensor"
+)
+
+// NetworkDoc is the on-disk form of a road network.
+type NetworkDoc struct {
+	Nodes []NodeDoc `json:"nodes"`
+	Links []LinkDoc `json:"links"`
+}
+
+// NodeDoc is one intersection.
+type NodeDoc struct {
+	ID int     `json:"id"`
+	X  float64 `json:"x"`
+	Y  float64 `json:"y"`
+}
+
+// LinkDoc is one directed link.
+type LinkDoc struct {
+	From       int     `json:"from"`
+	To         int     `json:"to"`
+	Length     float64 `json:"length"`
+	Lanes      int     `json:"lanes"`
+	SpeedLimit float64 `json:"speed_limit"`
+	Capacity   float64 `json:"capacity,omitempty"`
+}
+
+// WriteNetwork serializes a network.
+func WriteNetwork(w io.Writer, net *roadnet.Network) error {
+	doc := NetworkDoc{
+		Nodes: make([]NodeDoc, 0, net.NumNodes()),
+		Links: make([]LinkDoc, 0, net.NumLinks()),
+	}
+	for _, n := range net.Nodes {
+		doc.Nodes = append(doc.Nodes, NodeDoc{ID: n.ID, X: n.X, Y: n.Y})
+	}
+	for _, l := range net.Links {
+		doc.Links = append(doc.Links, LinkDoc{
+			From: l.From, To: l.To, Length: l.Length,
+			Lanes: l.Lanes, SpeedLimit: l.SpeedLimit, Capacity: l.Capacity,
+		})
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadNetwork deserializes a network written by WriteNetwork. Node IDs must
+// be dense 0..n-1 in order (the format WriteNetwork produces).
+func ReadNetwork(r io.Reader) (*roadnet.Network, error) {
+	var doc NetworkDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return nil, fmt.Errorf("trafficio: decode network: %w", err)
+	}
+	net := roadnet.New()
+	for i, n := range doc.Nodes {
+		if n.ID != i {
+			return nil, fmt.Errorf("trafficio: node IDs must be dense and ordered; got %d at index %d", n.ID, i)
+		}
+		net.AddNode(n.X, n.Y)
+	}
+	for i, l := range doc.Links {
+		if l.From < 0 || l.From >= net.NumNodes() || l.To < 0 || l.To >= net.NumNodes() {
+			return nil, fmt.Errorf("trafficio: link %d endpoints out of range", i)
+		}
+		if l.From == l.To || l.Length <= 0 || l.Lanes <= 0 || l.SpeedLimit <= 0 {
+			return nil, fmt.Errorf("trafficio: link %d has invalid attributes", i)
+		}
+		net.AddLink(l.From, l.To, l.Length, l.Lanes, l.SpeedLimit, l.Capacity)
+	}
+	if err := net.Validate(); err != nil {
+		return nil, fmt.Errorf("trafficio: %w", err)
+	}
+	return net, nil
+}
+
+// DemandDoc is the on-disk form of a simulator demand.
+type DemandDoc struct {
+	ODs [][2]int    `json:"ods"`
+	G   [][]float64 `json:"g"`
+}
+
+// WriteDemand serializes a demand.
+func WriteDemand(w io.Writer, d sim.Demand) error {
+	doc := DemandDoc{ODs: make([][2]int, len(d.ODs)), G: make([][]float64, d.G.Dim(0))}
+	for i, od := range d.ODs {
+		doc.ODs[i] = [2]int{od.Origin, od.Dest}
+	}
+	for i := range doc.G {
+		doc.G[i] = d.G.Row(i).Data
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+// ReadDemand deserializes a demand written by WriteDemand.
+func ReadDemand(r io.Reader) (sim.Demand, error) {
+	var doc DemandDoc
+	if err := json.NewDecoder(r).Decode(&doc); err != nil {
+		return sim.Demand{}, fmt.Errorf("trafficio: decode demand: %w", err)
+	}
+	if len(doc.ODs) == 0 || len(doc.G) != len(doc.ODs) {
+		return sim.Demand{}, fmt.Errorf("trafficio: demand must have matching ods and g rows")
+	}
+	t := len(doc.G[0])
+	if t == 0 {
+		return sim.Demand{}, fmt.Errorf("trafficio: demand has no intervals")
+	}
+	g := tensor.New(len(doc.ODs), t)
+	ods := make([]sim.ODNodes, len(doc.ODs))
+	for i, od := range doc.ODs {
+		ods[i] = sim.ODNodes{Origin: od[0], Dest: od[1]}
+		if len(doc.G[i]) != t {
+			return sim.Demand{}, fmt.Errorf("trafficio: demand row %d has %d intervals, want %d", i, len(doc.G[i]), t)
+		}
+		for tt, v := range doc.G[i] {
+			g.Set(v, i, tt)
+		}
+	}
+	return sim.Demand{ODs: ods, G: g}, nil
+}
+
+// ResultDoc is the on-disk form of simulator outputs.
+type ResultDoc struct {
+	Links         int         `json:"links"`
+	Intervals     int         `json:"intervals"`
+	Volume        [][]float64 `json:"volume"`
+	Entries       [][]float64 `json:"entries"`
+	Speed         [][]float64 `json:"speed"`
+	Spawned       int         `json:"spawned"`
+	Completed     int         `json:"completed"`
+	MeanTravelSec float64     `json:"mean_travel_sec"`
+}
+
+// WriteResult serializes a simulation result.
+func WriteResult(w io.Writer, res *sim.Result) error {
+	doc := ResultDoc{
+		Links:         res.Volume.Dim(0),
+		Intervals:     res.Volume.Dim(1),
+		Volume:        rows(res.Volume),
+		Entries:       rows(res.Entries),
+		Speed:         rows(res.Speed),
+		Spawned:       res.Spawned,
+		Completed:     res.Completed,
+		MeanTravelSec: res.MeanTravelSec(),
+	}
+	enc := json.NewEncoder(w)
+	enc.SetIndent("", "  ")
+	return enc.Encode(doc)
+}
+
+func rows(t *tensor.Tensor) [][]float64 {
+	out := make([][]float64, t.Dim(0))
+	for i := range out {
+		out[i] = t.Row(i).Data
+	}
+	return out
+}
