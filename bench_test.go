@@ -15,6 +15,7 @@ import (
 	"ovs/internal/dataset"
 	"ovs/internal/experiment"
 	"ovs/internal/nn"
+	"ovs/internal/parallel"
 	"ovs/internal/sim"
 	"ovs/internal/tensor"
 )
@@ -242,6 +243,32 @@ func BenchmarkMatMul(b *testing.B) {
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = tensor.MatMul(x, y)
+	}
+}
+
+// BenchmarkMatMulParallel measures the dense kernel at a size large enough
+// for the worker pool to engage (256³ ≈ 16.8M flops, well above the per-chunk
+// grain), comparing the exact-serial setting against the process default.
+func BenchmarkMatMulParallel(b *testing.B) {
+	rng := rand.New(rand.NewSource(1))
+	x := tensor.Randn(rng, 1, 256, 256)
+	y := tensor.Randn(rng, 1, 256, 256)
+	old := parallel.Workers()
+	defer parallel.SetWorkers(old)
+	for _, bc := range []struct {
+		name    string
+		workers int
+	}{
+		{"workers=1", 1},
+		{"workers=default", 0},
+	} {
+		b.Run(bc.name, func(b *testing.B) {
+			parallel.SetWorkers(bc.workers)
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				_ = tensor.MatMul(x, y)
+			}
+		})
 	}
 }
 

@@ -19,14 +19,18 @@ import (
 	"time"
 
 	"ovs/internal/experiment"
+	"ovs/internal/parallel"
 )
 
 func main() {
 	exp := flag.String("exp", "all", "experiment id: tablevi|tablevii|tableviii|tableix|tablex|fig9|fig10|fig11|fig12|fig13|routechoice|enginecross|noise|all (comma-separated)")
 	scaleName := flag.String("scale", "quick", "effort: test|quick|full")
 	seed := flag.Int64("seed", 1, "experiment seed")
+	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	fig9Sizes := flag.String("fig9sizes", "10,50,100", "comma-separated intersection counts for fig9")
 	flag.Parse()
+
+	parallel.SetWorkers(*workers)
 
 	var sc experiment.Scale
 	switch *scaleName {

@@ -13,6 +13,7 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
+	"sync/atomic"
 
 	"ovs/internal/tensor"
 )
@@ -24,6 +25,8 @@ type Parameter struct {
 	Name  string
 	Value *tensor.Tensor
 	Grad  *tensor.Tensor
+
+	frozen atomic.Bool
 }
 
 // NewParameter wraps value as a trainable parameter with zeroed gradient.
@@ -33,6 +36,17 @@ func NewParameter(name string, value *tensor.Tensor) *Parameter {
 
 // ZeroGrad clears the accumulated gradient.
 func (p *Parameter) ZeroGrad() { p.Grad.Zero() }
+
+// SetFrozen marks the parameter frozen (or unfrozen). A frozen parameter is
+// recorded on the tape as a gradient-free leaf, so Backward never writes to
+// its Grad tensor. Freezing the parameters of modules that are only read
+// during a training phase is what makes concurrent training runs (e.g.
+// parallel FitBest restarts sharing the pre-trained T2V/V2S modules) free of
+// data races: a frozen parameter is immutable for the duration.
+func (p *Parameter) SetFrozen(frozen bool) { p.frozen.Store(frozen) }
+
+// Frozen reports whether the parameter is currently frozen.
+func (p *Parameter) Frozen() bool { return p.frozen.Load() }
 
 // Node is one value in the computation graph. Value is set during the
 // forward pass; Grad is allocated lazily and filled during Backward.
@@ -47,8 +61,19 @@ type Node struct {
 }
 
 // Graph is a tape of nodes in forward (topological) order.
+//
+// A tape is strictly single-writer: exactly one goroutine may record nodes on
+// it at any moment. Concurrent graph construction goes through Fork/Join (see
+// parallel.go) — each worker records onto its own child tape and the children
+// are spliced back deterministically. add enforces the rule with a cheap
+// tripwire that panics on detected concurrent appends.
 type Graph struct {
 	nodes []*Node
+
+	// parent is non-nil for a child tape created by Fork, until Join.
+	parent *Graph
+	// busy is the single-writer tripwire flag toggled around each append.
+	busy atomic.Bool
 }
 
 // NewGraph returns an empty tape.
@@ -63,14 +88,23 @@ func (g *Graph) NumNodes() int { return len(g.nodes) }
 func (n *Node) Graph() *Graph { return n.graph }
 
 func (g *Graph) add(n *Node) *Node {
+	if !g.busy.CompareAndSwap(false, true) {
+		panic("autodiff: concurrent append to a single-writer graph (use Fork/Join for parallel construction)")
+	}
 	n.graph = g
 	g.nodes = append(g.nodes, n)
+	g.busy.Store(false)
 	return n
 }
 
 // Param records a leaf node backed by a trainable parameter. Gradients flow
-// into the parameter's persistent Grad tensor.
+// into the parameter's persistent Grad tensor. A frozen parameter is recorded
+// as a gradient-free leaf instead (its value is used, its Grad is never
+// touched).
 func (g *Graph) Param(p *Parameter) *Node {
+	if p.Frozen() {
+		return g.add(&Node{Value: p.Value, requires: false})
+	}
 	return g.add(&Node{Value: p.Value, Grad: p.Grad, requires: true, param: p})
 }
 
@@ -106,10 +140,24 @@ func (g *Graph) Backward(out *Node) {
 	}
 }
 
+// sameGraph resolves the tape a new node should be recorded on. All operands
+// must share one tape, with a single exception for forked construction: an
+// operand on a child tape may be mixed with operands on its parent tape, and
+// the result attaches to the child (the only tape the current worker owns).
+// Mixing nodes from sibling forks, or from unrelated graphs, panics.
 func sameGraph(op string, nodes ...*Node) *Graph {
 	g := nodes[0].graph
 	for _, n := range nodes[1:] {
-		if n.graph != g {
+		h := n.graph
+		if h == g {
+			continue
+		}
+		switch {
+		case h.parent == g:
+			g = h // descend from the parent tape onto the forked child
+		case g.parent == h:
+			// g is already the forked child; keep it.
+		default:
 			panic("autodiff: " + op + " mixes nodes from different graphs")
 		}
 	}

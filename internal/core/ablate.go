@@ -43,6 +43,17 @@ func (f *FCTODGen) Reseed(rng *rand.Rand) {
 	}
 }
 
+// StateTensors returns the seeds and layer parameters that determine the
+// generator's output.
+func (f *FCTODGen) StateTensors() []*tensor.Tensor {
+	return []*tensor.Tensor{f.Z, f.L.W.Value, f.L.B.Value}
+}
+
+// CloneTODGen returns a deep, independent copy for concurrent fit restarts.
+func (f *FCTODGen) CloneTODGen() TODGenModule {
+	return &FCTODGen{Z: f.Z.Clone(), L: f.L.Clone(), MaxTrips: f.MaxTrips}
+}
+
 // FCT2V replaces the attention TOD-volume mapping with per-interval fully
 // connected layers: at each time step, volumes are an FC function of that
 // step's OD counts, discarding temporal delay structure entirely.

@@ -85,6 +85,12 @@ type Config struct {
 	SmoothWeight float64
 	// Seed drives weight initialization and the generator's Gaussian seeds.
 	Seed int64
+	// Workers bounds the goroutines used by parallel graph construction and
+	// multi-restart fitting: 0 uses the process-wide default (see
+	// internal/parallel, runtime.GOMAXPROCS at startup), 1 forces exact
+	// serial execution. Results are identical at every setting; see the
+	// determinism contract in internal/parallel.
+	Workers int
 }
 
 // DefaultConfig returns a configuration sized for second-scale experiment
@@ -160,6 +166,9 @@ func (c Config) withDefaults() Config {
 	}
 	if c.FitRestarts <= 0 {
 		c.FitRestarts = 1
+	}
+	if c.Workers < 0 {
+		c.Workers = 1
 	}
 	return c
 }

@@ -123,11 +123,23 @@ type Model struct {
 
 // TODGenModule generates the TOD tensor (N × T) from internal seeds.
 // Reseed redraws the Gaussian seeds, giving test-time fitting a fresh
-// starting point (used by multi-restart fitting).
+// starting point (used by multi-restart fitting). StateTensors exposes the
+// tensors that fully determine the generator's output, in a fixed order
+// shared across instances of the same concrete type — FitBest copies them
+// to snapshot and restore the winning restart.
 type TODGenModule interface {
 	Generate(g *autodiff.Graph) *autodiff.Node
 	Params() []*autodiff.Parameter
 	Reseed(rng *rand.Rand)
+	StateTensors() []*tensor.Tensor
+}
+
+// CloneableTODGen is the optional capability FitBest uses to run restarts
+// concurrently: CloneTODGen returns a deep, independent copy of the
+// generator whose StateTensors align index-for-index with the original's.
+type CloneableTODGen interface {
+	TODGenModule
+	CloneTODGen() TODGenModule
 }
 
 // T2VModule maps a TOD tensor node (N × T) to link volumes (M × T).

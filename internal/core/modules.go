@@ -66,6 +66,30 @@ func (tg *TODGenerator) Reseed(rng *rand.Rand) {
 	}
 }
 
+// StateTensors returns the tensors that fully determine the generator's
+// output: the Gaussian seeds and both layers' weights and biases, in a fixed
+// order shared with clones of this generator.
+func (tg *TODGenerator) StateTensors() []*tensor.Tensor {
+	return []*tensor.Tensor{tg.Z, tg.L1.W.Value, tg.L1.B.Value, tg.L2.W.Value, tg.L2.B.Value}
+}
+
+// CloneTODGen returns a deep copy with independent seeds and parameters, so
+// multiple fit restarts can train concurrently.
+func (tg *TODGenerator) CloneTODGen() TODGenModule {
+	return &TODGenerator{Z: tg.Z.Clone(), L1: tg.L1.Clone(), L2: tg.L2.Clone(), MaxTrips: tg.MaxTrips}
+}
+
+// moduleWorkers returns the worker count for parallel graph construction
+// inside a module forward pass. Dropout draws its masks from a single shared
+// rng in recording order, so training passes with active dropout are forced
+// serial — the draw order, and therefore every mask, must match Workers=1.
+func moduleWorkers(cfg Config, train bool) int {
+	if train && cfg.DropoutRate > 0 {
+		return 1
+	}
+	return cfg.Workers
+}
+
 // ---- TOD-Volume Mapping (Eqs. 3-8) ----
 
 // AttentionT2V implements the OD→route split and the dynamic attention
@@ -154,15 +178,18 @@ func (a *AttentionT2V) MapVolume(g *autodiff.Graph, tod *autodiff.Node, train bo
 		}
 	}
 
-	// 2. Per-route embeddings (Eqs. 5-6) and system embedding (Eq. 7).
-	embeds := make([]*autodiff.Node, len(routeRows))
+	// 2. Per-route embeddings (Eqs. 5-6) and system embedding (Eq. 7). Each
+	// route's conv stack is an independent sub-graph, built on a forked child
+	// tape and spliced back in route order (see autodiff.ForkJoin for the
+	// determinism argument).
+	workers := moduleWorkers(a.cfg, train)
 	norm := 1.0 / a.cfg.MaxTrips
-	for r, p := range routeRows {
-		x := autodiff.Reshape(autodiff.Scale(p, norm), 1, topo.T)
+	embeds := autodiff.ForkJoin(g, workers, len(routeRows), func(sub *autodiff.Graph, r int) *autodiff.Node {
+		x := autodiff.Reshape(autodiff.Scale(sub.Ref(routeRows[r]), norm), 1, topo.T)
 		h := a.conv1.Forward(x, train)
 		h = a.drop.Forward(h, train)
-		embeds[r] = a.conv2.Forward(h, train) // (C × T)
-	}
+		return a.conv2.Forward(h, train) // (C × T)
+	})
 	system := autodiff.SumNodes(embeds...)
 	// Average so the system embedding scale is route-count invariant.
 	system = autodiff.Scale(system, 1/float64(len(embeds)))
@@ -173,49 +200,49 @@ func (a *AttentionT2V) MapVolume(g *autodiff.Graph, tod *autodiff.Node, train bo
 	posEmb := g.Param(a.posEmb)
 
 	gainW := g.Param(a.gainW)
-	gainB := g.Param(a.gainB)
+	// Hoisted out of the per-route builds: single-operand ops record onto
+	// their operand's tape, so shared nodes must be built on the parent once.
+	gainBVec := autodiff.Reshape(g.Param(a.gainB), 1)
 	posGain := g.Param(a.posGain)
 
 	// Pre-compute each route's lag logits (Lookback × T) and dynamic gain
 	// series (T): the gain reads the congestion-aware embedding and converts
 	// the trip-count attention output into occupancy.
-	routeLogits := make([]*autodiff.Node, len(routeRows))
-	routeGain := make([]*autodiff.Node, len(routeRows))
-	for r := range routeRows {
-		u := autodiff.Add(embeds[r], system) // (C × T)
-		logits := autodiff.MatMul(attW, u)   // (W × T)
-		logits = addColVector(logits, attB)  // + b per lag row
-		routeLogits[r] = logits
-		pre := addColVector(autodiff.MatMul(gainW, u), autodiff.Reshape(gainB, 1)) // (1 × T)
-		routeGain[r] = autodiff.Softplus(autodiff.Reshape(pre, topo.T))
-	}
+	routeHeads := autodiff.ForkJoinK(g, workers, len(routeRows), func(sub *autodiff.Graph, r int) []*autodiff.Node {
+		u := autodiff.Add(sub.Ref(embeds[r]), sub.Ref(system))                     // (C × T)
+		logits := autodiff.MatMul(sub.Ref(attW), u)                                // (W × T)
+		logits = addColVector(logits, sub.Ref(attB))                               // + b per lag row
+		pre := addColVector(autodiff.MatMul(sub.Ref(gainW), u), sub.Ref(gainBVec)) // (1 × T)
+		gain := autodiff.Softplus(autodiff.Reshape(pre, topo.T))
+		return []*autodiff.Node{logits, gain}
+	})
 
 	zeroRow := g.Const(tensor.New(topo.T))
-	volRows := make([]*autodiff.Node, topo.M)
-	for j := 0; j < topo.M; j++ {
+	volRows := autodiff.ForkJoin(g, workers, topo.M, func(sub *autodiff.Graph, j int) *autodiff.Node {
 		incs := topo.linkRoutes[j]
 		if len(incs) == 0 {
-			volRows[j] = zeroRow
-			continue
+			return zeroRow // parent-tape node; nothing recorded on the child
 		}
+		posEmbRef := sub.Ref(posEmb)
+		posGainRef := sub.Ref(posGain)
 		var parts []*autodiff.Node
 		for _, inc := range incs {
 			pos := inc.pos
 			if pos >= a.cfg.MaxPos {
 				pos = a.cfg.MaxPos - 1
 			}
-			pe := autodiff.Row(posEmb, pos) // (W)
-			logits := addColVector(routeLogits[inc.route], pe)
+			pe := autodiff.Row(posEmbRef, pos) // (W)
+			logits := addColVector(sub.Ref(routeHeads[inc.route][0]), pe)
 			alpha := softmaxCols(logits) // softmax over lags per time step
 			contrib := autodiff.Mul(
-				autodiff.LagAttend(alpha, routeRows[inc.route]),
-				routeGain[inc.route],
+				autodiff.LagAttend(alpha, sub.Ref(routeRows[inc.route])),
+				sub.Ref(routeHeads[inc.route][1]),
 			)
-			scale := autodiff.Softplus(autodiff.SliceVec(posGain, pos, pos+1))
+			scale := autodiff.Softplus(autodiff.SliceVec(posGainRef, pos, pos+1))
 			parts = append(parts, autodiff.MulScalarNode(contrib, scale))
 		}
-		volRows[j] = autodiff.SumNodes(parts...)
-	}
+		return autodiff.SumNodes(parts...)
+	})
 	return autodiff.StackRows(volRows)
 }
 
@@ -267,16 +294,20 @@ func NewLSTMV2S(topo *Topology, cfg Config, rng *rand.Rand) *LSTMV2S {
 	}
 }
 
-// MapSpeed converts link volumes (M × T) to speeds (M × T) in m/s.
+// MapSpeed converts link volumes (M × T) to speeds (M × T) in m/s. The
+// per-link LSTM applications share weights but are otherwise independent, so
+// each link's sub-graph is built on a forked child tape and spliced back in
+// link order — the dominant parallel win of the forward pass.
 func (v *LSTMV2S) MapSpeed(g *autodiff.Graph, vol *autodiff.Node, train bool) *autodiff.Node {
 	topo := v.topo
-	rows := make([]*autodiff.Node, topo.M)
-	for j := 0; j < topo.M; j++ {
-		q := autodiff.Scale(autodiff.Row(vol, j), 1/v.cfg.VolumeNorm) // (T)
+	workers := moduleWorkers(v.cfg, train)
+	rows := autodiff.ForkJoin(g, workers, topo.M, func(sub *autodiff.Graph, j int) *autodiff.Node {
+		volRef := sub.Ref(vol)
+		q := autodiff.Scale(autodiff.Row(volRef, j), 1/v.cfg.VolumeNorm) // (T)
 		// Assemble (T × 5): volume plus broadcast static features.
 		featRows := []*autodiff.Node{q}
 		for f := 0; f < 4; f++ {
-			featRows = append(featRows, g.Const(tensor.Full(v.topo.linkFeatures.At(j, f), topo.T)))
+			featRows = append(featRows, sub.Const(tensor.Full(v.topo.linkFeatures.At(j, f), topo.T)))
 		}
 		x := autodiff.Transpose(autodiff.StackRows(featRows)) // (T × 5)
 		h := v.lstm1.Forward(x, train)
@@ -284,8 +315,8 @@ func (v *LSTMV2S) MapSpeed(g *autodiff.Graph, vol *autodiff.Node, train bool) *a
 		h = v.lstm2.Forward(h, train)
 		h = v.fc1.Forward(h, train)
 		out := v.fc2.Forward(h, train) // (T × 1), sigmoid in (0,1)
-		rows[j] = autodiff.Scale(autodiff.Reshape(out, topo.T), topo.speedLimits[j])
-	}
+		return autodiff.Scale(autodiff.Reshape(out, topo.T), topo.speedLimits[j])
+	})
 	return autodiff.StackRows(rows)
 }
 

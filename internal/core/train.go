@@ -7,6 +7,7 @@ import (
 
 	"ovs/internal/autodiff"
 	"ovs/internal/nn"
+	"ovs/internal/parallel"
 	"ovs/internal/tensor"
 )
 
@@ -47,6 +48,11 @@ func (m *Model) TrainT2V(samples []Sample, epochs int) ([]float64, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("core: TrainT2V requires samples")
 	}
+	// Volume-Speed is frozen for the whole stage: its parameters are read
+	// concurrently by parallel graph construction and must not accumulate
+	// gradients.
+	restore := freezeParams(m.V2S.Params())
+	defer restore()
 	params := m.T2V.Params()
 	opt := nn.NewAdam(m.Cfg.LR)
 	history := make([]float64, 0, epochs)
@@ -110,15 +116,29 @@ type AuxData struct {
 // plus any auxiliary losses (Eq. 13). It returns the recovered TOD tensor
 // and the loss history.
 func (m *Model) Fit(speedObs *tensor.Tensor, epochs int, aux *AuxData) (*tensor.Tensor, []float64, error) {
-	if speedObs.Rank() != 2 || speedObs.Dim(0) != m.Topo.M || speedObs.Dim(1) != m.Topo.T {
-		return nil, nil, fmt.Errorf("core: Fit observation shape %v, want [%d %d]", speedObs.Shape(), m.Topo.M, m.Topo.T)
+	restore := freezeParams(append(m.T2V.Params(), m.V2S.Params()...))
+	defer restore()
+	history, err := m.fitGen(m.TODGen, speedObs, epochs, aux)
+	if err != nil {
+		return nil, nil, err
 	}
-	params := m.TODGen.Params()
+	return m.GenerateTOD(), history, nil
+}
+
+// fitGen optimizes one TOD generator against the observation. The frozen
+// TOD-Volume and Volume-Speed modules are only read, so multiple fitGen
+// calls on distinct generators may run concurrently (FitBest restarts);
+// callers must freeze those modules' parameters first.
+func (m *Model) fitGen(gen TODGenModule, speedObs *tensor.Tensor, epochs int, aux *AuxData) ([]float64, error) {
+	if speedObs.Rank() != 2 || speedObs.Dim(0) != m.Topo.M || speedObs.Dim(1) != m.Topo.T {
+		return nil, fmt.Errorf("core: Fit observation shape %v, want [%d %d]", speedObs.Shape(), m.Topo.M, m.Topo.T)
+	}
+	params := gen.Params()
 	opt := nn.NewAdam(m.Cfg.LR)
 	history := make([]float64, 0, epochs)
 	for e := 0; e < epochs; e++ {
 		g := autodiff.NewGraph()
-		tod := m.TODGen.Generate(g)
+		tod := gen.Generate(g)
 		vol := m.T2V.MapVolume(g, tod, false)
 		speed := m.V2S.MapSpeed(g, vol, false)
 		var linkWeights []float64
@@ -140,7 +160,25 @@ func (m *Model) Fit(speedObs *tensor.Tensor, epochs int, aux *AuxData) (*tensor.
 		opt.Step(params)
 		nn.ZeroGrads(params)
 	}
-	return m.GenerateTOD(), history, nil
+	return history, nil
+}
+
+// freezeParams freezes every parameter that is not already frozen and
+// returns a closure restoring the previous state. Nested freezes compose:
+// the inner restore only unfreezes what the inner call froze.
+func freezeParams(ps []*autodiff.Parameter) (restore func()) {
+	var frozen []*autodiff.Parameter
+	for _, p := range ps {
+		if !p.Frozen() {
+			p.SetFrozen(true)
+			frozen = append(frozen, p)
+		}
+	}
+	return func() {
+		for _, p := range frozen {
+			p.SetFrozen(false)
+		}
+	}
 }
 
 // fitLoss is the main observation term of the test-time fit: plain MSE by
@@ -237,31 +275,118 @@ func (m *Model) auxLoss(g *autodiff.Graph, tod, vol *autodiff.Node, aux *AuxData
 	return total
 }
 
-// FitBest runs Fit from `restarts` different TOD-generator seeds and keeps
-// the recovery with the lowest final loss. Restarting mitigates the
-// multiple-solutions issue of §I: distinct seeds explore different basins of
-// the speed-matching loss surface.
+// speedScore re-evaluates the pure speed-observation loss of a fitted
+// generator on a fresh graph — no smoothness or auxiliary terms. FitBest
+// compares restarts on this score: the final training loss mixes the
+// regularizers and is a single noisy last-epoch value, so it can prefer a
+// restart whose actual speed match is worse.
+func (m *Model) speedScore(gen TODGenModule, speedObs *tensor.Tensor, aux *AuxData) float64 {
+	g := autodiff.NewGraph()
+	tod := gen.Generate(g)
+	vol := m.T2V.MapVolume(g, tod, false)
+	speed := m.V2S.MapSpeed(g, vol, false)
+	var linkWeights []float64
+	if aux != nil {
+		linkWeights = aux.LinkWeights
+	}
+	return m.fitLoss(g, speed, speedObs, linkWeights).Value.Data[0]
+}
+
+// FitBest runs the test-time fit from `restarts` independent TOD-generator
+// starts and keeps the best recovery. Each restart begins from the
+// generator's entry state with freshly drawn Gaussian seeds — the seeds for
+// all restarts are drawn serially from a single root-derived rng, so the
+// start set is identical at any worker count — and the restarts run
+// concurrently (bounded by Cfg.Workers) when the generator supports cloning.
+//
+// The winner is the restart with the lowest re-evaluated pure speed loss
+// (see speedScore), ties broken by the lowest restart index. Its generator
+// state is installed into m.TODGen before returning, so m.GenerateTOD() and
+// Model.Save afterwards agree exactly with the returned tensor.
 func (m *Model) FitBest(speedObs *tensor.Tensor, epochs, restarts int, aux *AuxData) (*tensor.Tensor, []float64, error) {
 	if restarts <= 1 {
 		return m.Fit(speedObs, epochs, aux)
 	}
+	restore := freezeParams(append(m.T2V.Params(), m.V2S.Params()...))
+	defer restore()
 	rng := rand.New(rand.NewSource(m.Cfg.Seed + 997))
-	var bestTOD *tensor.Tensor
+
+	if cl, ok := m.TODGen.(CloneableTODGen); ok {
+		// Concurrent path: every restart fits its own deep copy; the shared
+		// T2V/V2S modules are frozen, hence read-only and race-free.
+		gens := make([]TODGenModule, restarts)
+		for r := range gens {
+			gens[r] = cl.CloneTODGen()
+			if r > 0 {
+				gens[r].Reseed(rng)
+			}
+		}
+		hists := make([][]float64, restarts)
+		errs := make([]error, restarts)
+		fns := make([]func(), restarts)
+		for r := range fns {
+			r := r
+			fns[r] = func() { hists[r], errs[r] = m.fitGen(gens[r], speedObs, epochs, aux) }
+		}
+		parallel.Run(m.Cfg.Workers, fns...)
+		for _, err := range errs {
+			if err != nil {
+				return nil, nil, err
+			}
+		}
+		best, bestScore := -1, math.Inf(1)
+		for r := range gens {
+			if score := m.speedScore(gens[r], speedObs, aux); best < 0 || score < bestScore {
+				best, bestScore = r, score
+			}
+		}
+		copyStateTensors(m.TODGen.StateTensors(), gens[best].StateTensors())
+		return m.GenerateTOD(), hists[best], nil
+	}
+
+	// Serial fallback for generators without cloning: snapshot the entry
+	// state, fit in place per restart, and restore the winner at the end.
+	entry := cloneTensors(m.TODGen.StateTensors())
+	var bestState []*tensor.Tensor
 	var bestHist []float64
-	bestLoss := math.Inf(1)
+	best, bestScore := -1, math.Inf(1)
 	for r := 0; r < restarts; r++ {
+		copyStateTensors(m.TODGen.StateTensors(), entry)
 		if r > 0 {
 			m.TODGen.Reseed(rng)
 		}
-		tod, hist, err := m.Fit(speedObs, epochs, aux)
+		hist, err := m.fitGen(m.TODGen, speedObs, epochs, aux)
 		if err != nil {
 			return nil, nil, err
 		}
-		if final := hist[len(hist)-1]; final < bestLoss {
-			bestLoss, bestTOD, bestHist = final, tod, hist
+		if score := m.speedScore(m.TODGen, speedObs, aux); best < 0 || score < bestScore {
+			best, bestScore = r, score
+			bestState = cloneTensors(m.TODGen.StateTensors())
+			bestHist = hist
 		}
 	}
-	return bestTOD, bestHist, nil
+	copyStateTensors(m.TODGen.StateTensors(), bestState)
+	return m.GenerateTOD(), bestHist, nil
+}
+
+// cloneTensors deep-copies a state-tensor list.
+func cloneTensors(ts []*tensor.Tensor) []*tensor.Tensor {
+	out := make([]*tensor.Tensor, len(ts))
+	for i, t := range ts {
+		out[i] = t.Clone()
+	}
+	return out
+}
+
+// copyStateTensors copies src's contents into dst element-wise. The lists
+// must come from StateTensors of generators of the same concrete type.
+func copyStateTensors(dst, src []*tensor.Tensor) {
+	if len(dst) != len(src) {
+		panic(fmt.Sprintf("core: state tensor count mismatch %d vs %d", len(dst), len(src)))
+	}
+	for i := range dst {
+		copy(dst[i].Data, src[i].Data)
+	}
 }
 
 // TrainFull is a convenience wrapper running the complete Fig. 8 pipeline:

@@ -2,12 +2,14 @@ package experiment
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"strings"
 	"time"
 
 	"ovs/internal/dataset"
 	"ovs/internal/metrics"
+	"ovs/internal/parallel"
 )
 
 func newRand(seed int64) *rand.Rand { return rand.New(rand.NewSource(seed)) }
@@ -52,70 +54,111 @@ func (c *ComparisonResult) OVSRow() (MethodResult, bool) {
 	return MethodResult{}, false
 }
 
-// RunComparison evaluates the six baselines plus OVS on an environment.
+// RunComparison evaluates the six baselines plus OVS on an environment. The
+// methods are independent — each draws randomness only from the environment
+// seed — so they run concurrently (bounded by the process-wide worker
+// default); the row order is fixed by the method list, not by completion.
 func RunComparison(env *Env, name string) (*ComparisonResult, error) {
-	out := &ComparisonResult{Dataset: name}
-	ctx := env.Context()
-	for _, m := range env.Methods() {
-		start := time.Now()
-		rec, err := m.Recover(ctx)
+	methods := env.Methods()
+	rows := make([]MethodResult, len(methods)+1)
+	errs := make([]error, len(methods)+1)
+	fns := make([]func(), 0, len(methods)+1)
+	for i, m := range methods {
+		i, m := i, m
+		fns = append(fns, func() {
+			start := time.Now()
+			rec, err := m.Recover(env.Context())
+			if err != nil {
+				errs[i] = fmt.Errorf("experiment: %s on %s: %w", m.Name(), name, err)
+				return
+			}
+			triple, err := env.Evaluate(rec)
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			rows[i] = MethodResult{Method: m.Name(), Metrics: triple, Elapsed: time.Since(start)}
+		})
+	}
+	fns = append(fns, func() {
+		i := len(methods)
+		rec, _, elapsed, err := env.RunOVS(nil)
 		if err != nil {
-			return nil, fmt.Errorf("experiment: %s on %s: %w", m.Name(), name, err)
+			errs[i] = err
+			return
 		}
 		triple, err := env.Evaluate(rec)
 		if err != nil {
+			errs[i] = err
+			return
+		}
+		rows[i] = MethodResult{Method: "OVS", Metrics: triple, Elapsed: elapsed}
+	})
+	parallel.Run(0, fns...)
+	for _, err := range errs {
+		if err != nil {
 			return nil, err
 		}
-		out.Rows = append(out.Rows, MethodResult{Method: m.Name(), Metrics: triple, Elapsed: time.Since(start)})
 	}
-	rec, _, elapsed, err := env.RunOVS(nil)
-	if err != nil {
-		return nil, err
-	}
-	triple, err := env.Evaluate(rec)
-	if err != nil {
-		return nil, err
-	}
-	out.Rows = append(out.Rows, MethodResult{Method: "OVS", Metrics: triple, Elapsed: elapsed})
-	return out, nil
+	return &ComparisonResult{Dataset: name, Rows: rows}, nil
 }
 
 // RunRealComparison reproduces Table VI: all methods on the Hangzhou, Porto
-// and Manhattan presets.
+// and Manhattan presets. Each city cell derives its randomness from the root
+// seed by index, so cells are independent and run concurrently with
+// reproducible results.
 func RunRealComparison(sc Scale, seed int64) ([]*ComparisonResult, error) {
-	var out []*ComparisonResult
+	out := make([]*ComparisonResult, len(dataset.RealCityNames))
+	errs := make([]error, len(dataset.RealCityNames))
+	fns := make([]func(), 0, len(dataset.RealCityNames))
 	for i, name := range dataset.RealCityNames {
-		city, err := dataset.ByName(name, dataset.CityOptions{ODPairs: sc.ODPairs, Seed: seed + int64(i)})
+		i, name := i, name
+		fns = append(fns, func() {
+			city, err := dataset.ByName(name, dataset.CityOptions{ODPairs: sc.ODPairs, Seed: seed + int64(i)})
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			env, err := NewEnv(city, sc, seed+10*int64(i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			out[i], errs[i] = RunComparison(env, name)
+		})
+	}
+	parallel.Run(0, fns...)
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		env, err := NewEnv(city, sc, seed+10*int64(i))
-		if err != nil {
-			return nil, err
-		}
-		res, err := RunComparison(env, name)
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res)
 	}
 	return out, nil
 }
 
 // RunSyntheticComparison reproduces Table VIII: all methods on the 3×3 grid
-// across the five TOD patterns.
+// across the five TOD patterns, one concurrent cell per pattern (seeded by
+// pattern index, so results match the serial order at any worker count).
 func RunSyntheticComparison(sc Scale, seed int64) ([]*ComparisonResult, error) {
-	var out []*ComparisonResult
+	out := make([]*ComparisonResult, len(dataset.AllPatterns))
+	errs := make([]error, len(dataset.AllPatterns))
+	fns := make([]func(), 0, len(dataset.AllPatterns))
 	for i, p := range dataset.AllPatterns {
-		env, err := NewSyntheticEnv(p, sc, seed+100*int64(i))
+		i, p := i, p
+		fns = append(fns, func() {
+			env, err := NewSyntheticEnv(p, sc, seed+100*int64(i))
+			if err != nil {
+				errs[i] = err
+				return
+			}
+			out[i], errs[i] = RunComparison(env, p.String())
+		})
+	}
+	parallel.Run(0, fns...)
+	for _, err := range errs {
 		if err != nil {
 			return nil, err
 		}
-		res, err := RunComparison(env, p.String())
-		if err != nil {
-			return nil, err
-		}
-		out = append(out, res)
 	}
 	return out, nil
 }
@@ -174,7 +217,14 @@ func RenderComparison(title string, results []*ComparisonResult) string {
 			func(t metrics.Triple) float64 { return t.Speed },
 		} {
 			best := res.BestBaseline(sel)
-			improve = append(improve, fmt.Sprintf("%.1f%%", 100*metrics.Improvement(sel(ovs.Metrics), best)))
+			imp := metrics.Improvement(sel(ovs.Metrics), best)
+			if math.IsNaN(imp) {
+				// Undefined ratio (zero baseline): render an em dash rather
+				// than a misleading 0.0%.
+				improve = append(improve, "—")
+			} else {
+				improve = append(improve, fmt.Sprintf("%.1f%%", 100*imp))
+			}
 		}
 	}
 	table = append(table, improve)

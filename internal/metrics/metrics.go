@@ -57,9 +57,12 @@ type Triple struct {
 
 // Improvement returns the relative improvement of a over b (positive when a
 // is lower/better), as reported in the "Improve" rows of Tables VI and VIII.
+// A zero baseline makes the ratio undefined, so it returns NaN — reporting 0
+// there would misprint "no improvement" when a degenerate baseline reaches
+// exactly zero error; table renderers print such cells as "—".
 func Improvement(a, b float64) float64 {
 	if b == 0 {
-		return 0
+		return math.NaN()
 	}
 	return (b - a) / b
 }

@@ -65,8 +65,8 @@ func TestImprovement(t *testing.T) {
 	if got := Improvement(5, 10); got != 0.5 {
 		t.Fatalf("Improvement = %v, want 0.5", got)
 	}
-	if got := Improvement(10, 0); got != 0 {
-		t.Fatalf("Improvement with zero baseline = %v, want 0", got)
+	if got := Improvement(10, 0); !math.IsNaN(got) {
+		t.Fatalf("Improvement with zero baseline = %v, want NaN", got)
 	}
 	if Improvement(12, 10) >= 0 {
 		t.Fatal("worse method should have negative improvement")

@@ -90,6 +90,16 @@ func (d *Dense) Forward(x *autodiff.Node, _ bool) *autodiff.Node {
 // Params returns the layer's trainable parameters.
 func (d *Dense) Params() []*autodiff.Parameter { return []*autodiff.Parameter{d.W, d.B} }
 
+// Clone returns a deep copy of the layer with independent parameters and
+// gradients.
+func (d *Dense) Clone() *Dense {
+	return &Dense{
+		W:   autodiff.NewParameter(d.W.Name, d.W.Value.Clone()),
+		B:   autodiff.NewParameter(d.B.Name, d.B.Value.Clone()),
+		Act: d.Act,
+	}
+}
+
 // In returns the input width of the layer.
 func (d *Dense) In() int { return d.W.Value.Dim(0) }
 

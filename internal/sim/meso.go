@@ -5,9 +5,16 @@ import (
 	"math/rand"
 	"sort"
 
+	"ovs/internal/parallel"
 	"ovs/internal/roadnet"
 	"ovs/internal/tensor"
 )
+
+// linkGrain is the number of links per parallel chunk in the per-link update
+// phases. Small networks fall into a single chunk and run serially inline;
+// step 3 (transfers/spillback) and step 4 (spawns) couple links and always
+// stay serial.
+const linkGrain = 128
 
 // mesoVehicle is a vehicle in the mesoscopic engine. Vehicles on a link all
 // move at the link's current fundamental-diagram speed.
@@ -69,28 +76,30 @@ func (s *Simulator) runMeso(d Demand) (*Result, error) {
 	for step := 0; step < totalSteps; step++ {
 		interval := step / stepsPerInterval
 
-		// 1. Update link speeds from density via the fundamental diagram.
-		for j := 0; j < m; j++ {
-			k := float64(len(occupants[j])) / maxVeh[j]
-			v := freeSpeed[j] * cfg.Diagram.SpeedFraction(k)
-			if v < cfg.MinSpeed {
-				v = cfg.MinSpeed
-			}
-			curSpeed[j] = v
-		}
-
-		// 2. Advance vehicles.
-		for j := 0; j < m; j++ {
-			adv := curSpeed[j] * cfg.StepSec
-			length := net.Links[j].Length
-			for _, vi := range occupants[j] {
-				veh := &vehicles[vi]
-				veh.pos += adv
-				if veh.pos > length {
-					veh.pos = length
+		// 1+2. Update link speeds from density via the fundamental diagram,
+		// then advance vehicles. Both touch only link-local state (curSpeed[j]
+		// and the vehicles occupying link j — a vehicle sits on exactly one
+		// link), so links are partitioned across workers; per-link work is
+		// unchanged and results are identical at any worker count.
+		parallel.ForWorkers(cfg.Workers, m, linkGrain, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				k := float64(len(occupants[j])) / maxVeh[j]
+				v := freeSpeed[j] * cfg.Diagram.SpeedFraction(k)
+				if v < cfg.MinSpeed {
+					v = cfg.MinSpeed
+				}
+				curSpeed[j] = v
+				adv := v * cfg.StepSec
+				length := net.Links[j].Length
+				for _, vi := range occupants[j] {
+					veh := &vehicles[vi]
+					veh.pos += adv
+					if veh.pos > length {
+						veh.pos = length
+					}
 				}
 			}
-		}
+		})
 
 		// 3. Transfers at link ends, capacity- and space-limited; a red
 		// signal blocks the approach entirely.
@@ -170,15 +179,18 @@ func (s *Simulator) runMeso(d Demand) (*Result, error) {
 			s.enterNetwork(&vehicles[vi], vi, step, interval, occupants, res)
 		}
 
-		// 5. Record occupancy and speed observations.
-		for j := 0; j < m; j++ {
-			occ := float64(len(occupants[j]))
-			res.Volume.Add2(occ, j, interval)
-			if occ > 0 {
-				speedSum.Add2(curSpeed[j]*occ, j, interval)
-				weightSum.Add2(occ, j, interval)
+		// 5. Record occupancy and speed observations (row j of each
+		// accumulator belongs to link j alone, so links partition cleanly).
+		parallel.ForWorkers(cfg.Workers, m, linkGrain, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				occ := float64(len(occupants[j]))
+				res.Volume.Add2(occ, j, interval)
+				if occ > 0 {
+					speedSum.Add2(curSpeed[j]*occ, j, interval)
+					weightSum.Add2(occ, j, interval)
+				}
 			}
-		}
+		})
 	}
 
 	// Occupancy: mean vehicles present per step within each interval.

@@ -90,6 +90,10 @@ type Config struct {
 	// Signals, when non-nil, adds fixed-time traffic lights: a link whose
 	// downstream intersection shows red for its approach cannot discharge.
 	Signals *SignalPlan
+	// Workers bounds the goroutines used for per-link state updates: 0 uses
+	// the process-wide default (see internal/parallel), 1 forces serial
+	// execution. Results are identical at every setting.
+	Workers int
 }
 
 func (c Config) withDefaults() Config {

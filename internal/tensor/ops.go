@@ -3,15 +3,40 @@ package tensor
 import (
 	"fmt"
 	"math"
+
+	"ovs/internal/parallel"
 )
+
+// parMinWork is the minimum number of scalar operations a parallel chunk
+// should carry. Loops smaller than one chunk run serially inline (the
+// parallel.For chunk count is 1), so small tensors pay no goroutine
+// overhead. Partitioning is always over output indices/rows with the
+// per-index computation unchanged, which keeps every parallel kernel
+// bitwise-identical to its serial form at any worker count.
+const parMinWork = 1 << 16
+
+// elemGrain returns the chunk size for an elementwise loop of the given
+// per-index cost (in scalar ops).
+func elemGrain(perIndex int) int {
+	if perIndex < 1 {
+		perIndex = 1
+	}
+	g := parMinWork / perIndex
+	if g < 1 {
+		g = 1
+	}
+	return g
+}
 
 // Add returns a + b elementwise. Shapes must match.
 func Add(a, b *Tensor) *Tensor {
 	assertSameShape("Add", a, b)
 	out := New(a.shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] + b.Data[i]
-	}
+	parallel.For(len(a.Data), parMinWork, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] + b.Data[i]
+		}
+	})
 	return out
 }
 
@@ -19,9 +44,11 @@ func Add(a, b *Tensor) *Tensor {
 func Sub(a, b *Tensor) *Tensor {
 	assertSameShape("Sub", a, b)
 	out := New(a.shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] - b.Data[i]
-	}
+	parallel.For(len(a.Data), parMinWork, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] - b.Data[i]
+		}
+	})
 	return out
 }
 
@@ -29,36 +56,44 @@ func Sub(a, b *Tensor) *Tensor {
 func Mul(a, b *Tensor) *Tensor {
 	assertSameShape("Mul", a, b)
 	out := New(a.shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] * b.Data[i]
-	}
+	parallel.For(len(a.Data), parMinWork, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] * b.Data[i]
+		}
+	})
 	return out
 }
 
 // Scale returns a * s elementwise.
 func Scale(a *Tensor, s float64) *Tensor {
 	out := New(a.shape...)
-	for i := range a.Data {
-		out.Data[i] = a.Data[i] * s
-	}
+	parallel.For(len(a.Data), parMinWork, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			out.Data[i] = a.Data[i] * s
+		}
+	})
 	return out
 }
 
 // AddInPlace accumulates b into a (a += b) and returns a.
 func AddInPlace(a, b *Tensor) *Tensor {
 	assertSameShape("AddInPlace", a, b)
-	for i := range a.Data {
-		a.Data[i] += b.Data[i]
-	}
+	parallel.For(len(a.Data), parMinWork, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.Data[i] += b.Data[i]
+		}
+	})
 	return a
 }
 
 // AxpyInPlace computes a += alpha*b and returns a.
 func AxpyInPlace(a *Tensor, alpha float64, b *Tensor) *Tensor {
 	assertSameShape("AxpyInPlace", a, b)
-	for i := range a.Data {
-		a.Data[i] += alpha * b.Data[i]
-	}
+	parallel.For(len(a.Data), parMinWork, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			a.Data[i] += alpha * b.Data[i]
+		}
+	})
 	return a
 }
 
@@ -73,21 +108,25 @@ func MatMul(a, b *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v x %v", a.shape, b.shape))
 	}
 	out := New(m, n)
-	// ikj loop order keeps the inner loop streaming over contiguous rows of b.
-	for i := 0; i < m; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := out.Data[i*n : (i+1)*n]
-		for kk := 0; kk < k; kk++ {
-			av := arow[kk]
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[kk*n : (kk+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
+	// Partitioned over output rows: each row's ikj accumulation order is
+	// unchanged, so the parallel product is bitwise-identical to serial.
+	parallel.For(m, elemGrain(k*n), func(lo, hi int) {
+		// ikj loop order keeps the inner loop streaming over contiguous rows of b.
+		for i := lo; i < hi; i++ {
+			arow := a.Data[i*k : (i+1)*k]
+			orow := out.Data[i*n : (i+1)*n]
+			for kk := 0; kk < k; kk++ {
+				av := arow[kk]
+				if av == 0 {
+					continue
+				}
+				brow := b.Data[kk*n : (kk+1)*n]
+				for j := 0; j < n; j++ {
+					orow[j] += av * brow[j]
+				}
 			}
 		}
-	}
+	})
 	return out
 }
 
@@ -102,14 +141,16 @@ func MatVec(a, v *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatVec dimensions differ: %v x %v", a.shape, v.shape))
 	}
 	out := New(m)
-	for i := 0; i < m; i++ {
-		row := a.Data[i*k : (i+1)*k]
-		s := 0.0
-		for j, rv := range row {
-			s += rv * v.Data[j]
+	parallel.For(m, elemGrain(k), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			row := a.Data[i*k : (i+1)*k]
+			s := 0.0
+			for j, rv := range row {
+				s += rv * v.Data[j]
+			}
+			out.Data[i] = s
 		}
-		out.Data[i] = s
-	}
+	})
 	return out
 }
 
@@ -120,11 +161,15 @@ func Transpose(a *Tensor) *Tensor {
 	}
 	m, n := a.shape[0], a.shape[1]
 	out := New(n, m)
-	for i := 0; i < m; i++ {
-		for j := 0; j < n; j++ {
-			out.Data[j*m+i] = a.Data[i*n+j]
+	// Partitioned over input rows: row i fills column i of the output, so
+	// chunks write disjoint cells.
+	parallel.For(m, elemGrain(n), func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			for j := 0; j < n; j++ {
+				out.Data[j*m+i] = a.Data[i*n+j]
+			}
 		}
-	}
+	})
 	return out
 }
 

@@ -24,6 +24,7 @@ import (
 	"ovs/internal/dataset"
 	"ovs/internal/fd"
 	"ovs/internal/metrics"
+	"ovs/internal/parallel"
 	"ovs/internal/roadnet"
 	"ovs/internal/sim"
 	"ovs/internal/tensor"
@@ -193,6 +194,18 @@ var (
 	NewAblatedModel    = core.NewAblatedModel
 	DefaultModelConfig = core.DefaultConfig
 	PaperModelConfig   = core.PaperConfig
+)
+
+// ---- Parallel execution ----
+
+// SetWorkers sets the process-wide default worker-pool size used by tensor
+// kernels, module builders, the meso engine and the experiment harness
+// (n <= 0 restores the GOMAXPROCS default; 1 forces exact-serial execution).
+// Results are bitwise-identical at any setting. Workers reports the current
+// value.
+var (
+	SetWorkers = parallel.SetWorkers
+	Workers    = parallel.Workers
 )
 
 // ---- Serialization ----
