@@ -1,7 +1,10 @@
 // Benchmarks regenerating every table and figure of the paper's evaluation
 // (at experiment.TestScale, sized so the full -bench=. sweep completes in
 // minutes on one core), plus micro-benchmarks of the substrates the pipeline
-// spends its time in. For paper-shaped output at a more faithful scale, run:
+// spends its time in. Every benchmark reports allocations (the training hot
+// loop is pooled; see DESIGN.md §11), and cmd/ovsbench turns a sweep into
+// BENCH_2.json for the perf trajectory. For paper-shaped output at a more
+// faithful scale, run:
 //
 //	go run ./cmd/ovstables -exp all -scale quick
 package ovs_test
@@ -33,6 +36,7 @@ func benchScale() experiment.Scale {
 // BenchmarkTableVI regenerates the real-dataset comparison (Hangzhou, Porto,
 // Manhattan × 7 methods, RMSE on TOD/volume/speed).
 func BenchmarkTableVI(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.RunRealComparison(benchScale(), 1); err != nil {
 			b.Fatal(err)
@@ -43,6 +47,7 @@ func BenchmarkTableVI(b *testing.B) {
 // BenchmarkTableVII regenerates the running-time table (OVS wall-clock on
 // the three real datasets).
 func BenchmarkTableVII(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.RunRunningTime(benchScale(), 1); err != nil {
 			b.Fatal(err)
@@ -53,6 +58,7 @@ func BenchmarkTableVII(b *testing.B) {
 // BenchmarkTableVIII regenerates the synthetic comparison (five TOD patterns
 // × 7 methods on the 3×3 grid).
 func BenchmarkTableVIII(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.RunSyntheticComparison(benchScale(), 1); err != nil {
 			b.Fatal(err)
@@ -63,6 +69,7 @@ func BenchmarkTableVIII(b *testing.B) {
 // BenchmarkTableIX regenerates the ablation study (OVS and its three
 // FC-ablated variants on the Random pattern).
 func BenchmarkTableIX(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.RunAblation(benchScale(), 1); err != nil {
 			b.Fatal(err)
@@ -73,6 +80,7 @@ func BenchmarkTableIX(b *testing.B) {
 // BenchmarkTableX regenerates the case-study speed-fitting comparison
 // (Table X columns Case 1 and Case 2).
 func BenchmarkTableX(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.RunCaseStudy1(benchScale(), 1); err != nil {
 			b.Fatal(err)
@@ -86,6 +94,7 @@ func BenchmarkTableX(b *testing.B) {
 // BenchmarkFigure9 regenerates the scalability sweep (OVS running time vs
 // intersection count; the paper sweeps to 1000, the bench to 100).
 func BenchmarkFigure9(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.RunScalability(benchScale(), []int{10, 50, 100}, 1); err != nil {
 			b.Fatal(err)
@@ -98,6 +107,7 @@ func BenchmarkFigure9(b *testing.B) {
 func BenchmarkFigure10(b *testing.B) {
 	sc := benchScale()
 	sc.ODPairs = 12
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.RunCensusConstraint(sc, 1); err != nil {
 			b.Fatal(err)
@@ -107,6 +117,7 @@ func BenchmarkFigure10(b *testing.B) {
 
 // BenchmarkFigure11 regenerates the road-work robustness experiment.
 func BenchmarkFigure11(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.RunRoadWork(benchScale(), 1); err != nil {
 			b.Fatal(err)
@@ -116,6 +127,7 @@ func BenchmarkFigure11(b *testing.B) {
 
 // BenchmarkFigure12 regenerates case study 1 (Hangzhou Sunday TOD curves).
 func BenchmarkFigure12(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.RunCaseStudy1(benchScale(), 1); err != nil {
 			b.Fatal(err)
@@ -125,6 +137,7 @@ func BenchmarkFigure12(b *testing.B) {
 
 // BenchmarkFigure13 regenerates case study 2 (football Saturday TOD curves).
 func BenchmarkFigure13(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.RunCaseStudy2(benchScale(), 1); err != nil {
 			b.Fatal(err)
@@ -135,6 +148,7 @@ func BenchmarkFigure13(b *testing.B) {
 // BenchmarkRouteChoiceAblation runs the route-choice design-choice ablation
 // (k=1 vs k=2 route splits under dynamic routing).
 func BenchmarkRouteChoiceAblation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.RunRouteChoice(benchScale(), 1); err != nil {
 			b.Fatal(err)
@@ -145,6 +159,7 @@ func BenchmarkRouteChoiceAblation(b *testing.B) {
 // BenchmarkEngineCrossAblation runs the simulator-mismatch ablation
 // (meso-trained chain observing micro-engine speeds).
 func BenchmarkEngineCrossAblation(b *testing.B) {
+	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
 		if _, err := experiment.RunEngineCross(benchScale(), 1); err != nil {
 			b.Fatal(err)
@@ -159,6 +174,7 @@ func BenchmarkEngineCrossAblation(b *testing.B) {
 func BenchmarkSimulatorMeso(b *testing.B) {
 	city := dataset.SyntheticGrid(8, 1)
 	g := tensor.Full(20, city.NumPairs(), 6)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := sim.New(city.Net, sim.Config{Intervals: 6, IntervalSec: 300, Seed: int64(i)})
@@ -173,6 +189,7 @@ func BenchmarkSimulatorMeso(b *testing.B) {
 func BenchmarkSimulatorMicro(b *testing.B) {
 	city := dataset.SyntheticGrid(8, 1)
 	g := tensor.Full(20, city.NumPairs(), 6)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		s := sim.New(city.Net, sim.Config{Intervals: 6, IntervalSec: 300, Seed: int64(i), Engine: sim.Micro})
@@ -182,9 +199,10 @@ func BenchmarkSimulatorMicro(b *testing.B) {
 	}
 }
 
-// BenchmarkModelForward measures one OVS forward pass (TOD→volume→speed) on
-// the 3×3 grid topology.
-func BenchmarkModelForward(b *testing.B) {
+// benchModel builds the standard OVS model on the 3×3 grid for the hot-loop
+// micro-benchmarks.
+func benchModel(b *testing.B) *ovs.Model {
+	b.Helper()
 	city := dataset.SyntheticGrid(8, 1)
 	pairs := make([][2]int, len(city.ODs))
 	for i, od := range city.ODs {
@@ -194,8 +212,15 @@ func BenchmarkModelForward(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
-	model := ovs.NewModel(topo, ovs.DefaultModelConfig())
-	g := tensor.Full(20, city.NumPairs(), 8)
+	return ovs.NewModel(topo, ovs.DefaultModelConfig())
+}
+
+// BenchmarkModelForward measures one OVS forward pass (TOD→volume→speed) on
+// the 3×3 grid topology.
+func BenchmarkModelForward(b *testing.B) {
+	model := benchModel(b)
+	g := tensor.Full(20, model.Topo.N, 8)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_, _ = model.Forward(g)
@@ -203,30 +228,60 @@ func BenchmarkModelForward(b *testing.B) {
 }
 
 // BenchmarkFitEpoch measures one test-time fitting epoch (forward + backward
-// through all three modules).
+// through all three modules plus the optimizer step), with the tensor arena
+// enabled (the default) and disabled. The arena=on/arena=off allocs/op gap is
+// the headline number of the pooled training loop.
 func BenchmarkFitEpoch(b *testing.B) {
-	city := dataset.SyntheticGrid(8, 1)
-	pairs := make([][2]int, len(city.ODs))
-	for i, od := range city.ODs {
-		pairs[i] = [2]int{od.Origin, od.Dest}
+	model := benchModel(b)
+	_, speed := model.Forward(tensor.Full(20, model.Topo.N, 8))
+	restore := tensor.PoolingEnabled()
+	defer tensor.SetPooling(restore)
+	for _, mode := range []struct {
+		name   string
+		pooled bool
+	}{
+		{"arena=on", true},
+		{"arena=off", false},
+	} {
+		b.Run(mode.name, func(b *testing.B) {
+			tensor.SetPooling(mode.pooled)
+			b.ReportAllocs()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if _, _, err := model.Fit(speed, 1, nil); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
 	}
-	topo, err := ovs.NewTopology(city.Net, pairs, 8, 1)
-	if err != nil {
-		b.Fatal(err)
-	}
-	model := ovs.NewModel(topo, ovs.DefaultModelConfig())
-	_, speed := model.Forward(tensor.Full(20, city.NumPairs(), 8))
+}
+
+// BenchmarkBackward measures one forward+backward sweep of the full OVS chain
+// on a recycled graph — the allocation profile of the inner training loop
+// without the optimizer.
+func BenchmarkBackward(b *testing.B) {
+	model := benchModel(b)
+	_, speed := model.Forward(tensor.Full(20, model.Topo.N, 8))
+	params := model.Params()
+	g := autodiff.NewGraph()
+	defer g.Release()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, _, err := model.Fit(speed, 1, nil); err != nil {
-			b.Fatal(err)
-		}
+		g.Reset()
+		tod := model.TODGen.Generate(g)
+		vol := model.T2V.MapVolume(g, tod, false)
+		pred := model.V2S.MapSpeed(g, vol, false)
+		loss := autodiff.MSE(pred, speed)
+		g.Backward(loss)
+		nn.ZeroGrads(params)
 	}
 }
 
 // BenchmarkDijkstra measures shortest-path routing on a 20×20 grid.
 func BenchmarkDijkstra(b *testing.B) {
 	net := ovs.Grid(ovs.GridConfig{Rows: 20, Cols: 20})
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, _, err := net.ShortestPath(0, net.NumNodes()-1, nil, nil); err != nil {
@@ -240,6 +295,7 @@ func BenchmarkMatMul(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	x := tensor.Randn(rng, 1, 64, 64)
 	y := tensor.Randn(rng, 1, 64, 64)
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = tensor.MatMul(x, y)
@@ -264,6 +320,7 @@ func BenchmarkMatMulParallel(b *testing.B) {
 	} {
 		b.Run(bc.name, func(b *testing.B) {
 			parallel.SetWorkers(bc.workers)
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				_ = tensor.MatMul(x, y)
@@ -272,15 +329,19 @@ func BenchmarkMatMulParallel(b *testing.B) {
 	}
 }
 
-// BenchmarkLSTMForwardBackward measures one LSTM training step (T=12).
+// BenchmarkLSTMForwardBackward measures one LSTM training step (T=12) on a
+// recycled graph.
 func BenchmarkLSTMForwardBackward(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
 	l := nn.NewLSTM(rng, "bench", 8, 32)
 	x := tensor.Randn(rng, 1, 12, 8)
 	target := tensor.Randn(rng, 1, 12, 32)
+	g := autodiff.NewGraph()
+	defer g.Release()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		g := autodiff.NewGraph()
+		g.Reset()
 		out := l.Forward(g.Const(x), true)
 		loss := autodiff.MSE(out, target)
 		g.Backward(loss)

@@ -1,0 +1,133 @@
+// Command ovsbench runs the repository's micro-benchmarks once each and
+// writes a machine-readable summary. It shells out to `go test -bench` so the
+// numbers come from the standard benchmark harness (ns/op, B/op, allocs/op
+// with -benchmem), then parses the text output into JSON.
+//
+// Usage:
+//
+//	ovsbench -bench 'BenchmarkFitEpoch|BenchmarkBackward' -o BENCH_2.json
+//	ovsbench -benchtime 5x -o BENCH_2.json
+//
+// The default selection covers the allocation-sensitive hot-loop benchmarks
+// that the arena work targets; pass -bench '.' for everything.
+package main
+
+import (
+	"bufio"
+	"bytes"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+	"os/exec"
+	"strconv"
+	"strings"
+)
+
+// Result is one benchmark line from `go test -bench -benchmem`.
+type Result struct {
+	Name        string  `json:"name"`
+	Iterations  int64   `json:"iterations"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+}
+
+// Report is the file ovsbench writes: the harness invocation plus every
+// parsed benchmark result, in run order.
+type Report struct {
+	GoTestArgs []string `json:"go_test_args"`
+	GoVersion  string   `json:"go_version"`
+	Results    []Result `json:"results"`
+}
+
+const defaultBench = "BenchmarkFitEpoch|BenchmarkBackward|BenchmarkModelForward|BenchmarkMatMul$|BenchmarkMatMulParallel|BenchmarkLSTMForwardBackward|BenchmarkSimulatorMeso"
+
+func main() {
+	bench := flag.String("bench", defaultBench, "benchmark selection regex passed to go test -bench")
+	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
+	pkg := flag.String("pkg", ".", "package pattern holding the benchmarks")
+	outPath := flag.String("o", "BENCH_2.json", "output JSON path")
+	flag.Parse()
+
+	if err := run(*bench, *benchtime, *pkg, *outPath); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+}
+
+func run(bench, benchtime, pkg, outPath string) error {
+	args := []string{"test", "-run", "^$", "-bench", bench, "-benchtime", benchtime, "-benchmem", pkg}
+	cmd := exec.Command("go", args...)
+	var out bytes.Buffer
+	cmd.Stdout = &out
+	cmd.Stderr = os.Stderr
+	fmt.Fprintf(os.Stderr, "ovsbench: go %s\n", strings.Join(args, " "))
+	if err := cmd.Run(); err != nil {
+		return fmt.Errorf("go test -bench failed: %w", err)
+	}
+	os.Stdout.Write(out.Bytes())
+
+	results, err := parseBenchOutput(out.Bytes())
+	if err != nil {
+		return err
+	}
+	if len(results) == 0 {
+		return fmt.Errorf("no benchmark results matched %q", bench)
+	}
+	report := Report{GoTestArgs: args, GoVersion: goVersion(), Results: results}
+	enc, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(outPath, append(enc, '\n'), 0o644); err != nil {
+		return err
+	}
+	fmt.Fprintf(os.Stderr, "ovsbench: wrote %d results to %s\n", len(results), outPath)
+	return nil
+}
+
+func goVersion() string {
+	out, err := exec.Command("go", "version").Output()
+	if err != nil {
+		return ""
+	}
+	return strings.TrimSpace(string(out))
+}
+
+// parseBenchOutput extracts benchmark lines of the form
+//
+//	BenchmarkName-8   1   123456 ns/op   7890 B/op   12 allocs/op
+//
+// from the harness output. Unparseable fields are left zero rather than
+// failing the whole run, so a benchmark without -benchmem columns still
+// reports its timing.
+func parseBenchOutput(raw []byte) ([]Result, error) {
+	var results []Result
+	sc := bufio.NewScanner(bytes.NewReader(raw))
+	sc.Buffer(make([]byte, 1024*1024), 1024*1024)
+	for sc.Scan() {
+		fields := strings.Fields(sc.Text())
+		if len(fields) < 3 || !strings.HasPrefix(fields[0], "Benchmark") {
+			continue
+		}
+		iters, err := strconv.ParseInt(fields[1], 10, 64)
+		if err != nil {
+			continue
+		}
+		r := Result{Name: fields[0], Iterations: iters}
+		for i := 2; i+1 < len(fields); i += 2 {
+			val := fields[i]
+			switch fields[i+1] {
+			case "ns/op":
+				r.NsPerOp, _ = strconv.ParseFloat(val, 64)
+			case "B/op":
+				r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
+			case "allocs/op":
+				r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
+			}
+		}
+		results = append(results, r)
+	}
+	return results, sc.Err()
+}

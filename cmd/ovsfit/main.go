@@ -22,6 +22,8 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"time"
 
 	"ovs/internal/dataset"
@@ -47,12 +49,63 @@ func main() {
 	outPath := flag.String("o", "", "write the recovered TOD JSON here")
 	scaleName := flag.String("scale", "test", "effort: test|quick|full")
 	seed := flag.Int64("seed", 1, "seed")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	if err := run(*cityName, *train, *modelPath, *fitPath, *outPath, *scaleName, *seed); err != nil {
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
+
+	if err := run(*cityName, *train, *modelPath, *fitPath, *outPath, *scaleName, *seed); err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		stopProfiles()
+		os.Exit(1)
+	}
+	stopProfiles()
+}
+
+// startProfiles begins CPU profiling and arranges for a heap profile, per the
+// given paths (either may be empty). The returned stop function is idempotent
+// so error paths can flush profiles before os.Exit.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}, nil
 }
 
 func run(cityName string, train bool, modelPath, fitPath, outPath, scaleName string, seed int64) error {

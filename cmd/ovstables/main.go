@@ -15,6 +15,8 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"time"
 
@@ -28,7 +30,16 @@ func main() {
 	seed := flag.Int64("seed", 1, "experiment seed")
 	workers := flag.Int("workers", 0, "worker pool size (0 = GOMAXPROCS, 1 = serial); results are identical at any setting")
 	fig9Sizes := flag.String("fig9sizes", "10,50,100", "comma-separated intersection counts for fig9")
+	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
+	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
+
+	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(1)
+	}
+	defer stopProfiles()
 
 	parallel.SetWorkers(*workers)
 
@@ -42,6 +53,7 @@ func main() {
 		sc = experiment.FullScale()
 	default:
 		fmt.Fprintf(os.Stderr, "unknown scale %q\n", *scaleName)
+		stopProfiles()
 		os.Exit(2)
 	}
 
@@ -53,10 +65,52 @@ func main() {
 		start := time.Now()
 		if err := run(strings.TrimSpace(id), sc, *seed, parseSizes(*fig9Sizes)); err != nil {
 			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			stopProfiles()
 			os.Exit(1)
 		}
 		fmt.Printf("[%s done in %s]\n\n", id, time.Since(start).Round(time.Second))
 	}
+}
+
+// startProfiles begins CPU profiling and arranges for a heap profile, per the
+// given paths (either may be empty). The returned stop function is idempotent
+// so error paths can flush profiles before os.Exit.
+func startProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close()
+			return nil, err
+		}
+		cpuFile = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			cpuFile.Close()
+		}
+		if memPath != "" {
+			f, err := os.Create(memPath)
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects retained memory
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}, nil
 }
 
 func parseSizes(s string) []int {

@@ -6,7 +6,15 @@
 //
 // The design favors explicitness over generality: every operation has a
 // hand-written backward rule that is verified against finite differences in
-// the package tests.
+// the package tests. Ops allocate their outputs and gradient buffers through
+// the graph (Graph.Alloc), which draws from the tensor arena and reclaims
+// everything on Graph.Reset — see recycle.go.
+//
+// Backward rules are static functions dispatched through Node.backFn, with
+// operands stored in the node itself (a, b, c, srcs, ext, x0, i0, i1) rather
+// than captured in closures. A closure per op would be one heap allocation
+// per tape node; the static form keeps the steady-state hot loop free of
+// per-node allocations because the Node structs live in pooled slabs.
 package autodiff
 
 import (
@@ -50,14 +58,30 @@ func (p *Parameter) Frozen() bool { return p.frozen.Load() }
 
 // Node is one value in the computation graph. Value is set during the
 // forward pass; Grad is allocated lazily and filled during Backward.
+//
+// Nodes live in pooled slabs owned by their graph (see recycle.go), so the
+// struct doubles as the tape record: backFn is the op's static backward rule
+// and the remaining fields are its operands. Graph.Reset zeroes the whole
+// struct, which drops every operand reference at once.
 type Node struct {
 	Value *tensor.Tensor
 	Grad  *tensor.Tensor
 
 	graph    *Graph
-	requires bool   // does any parameter feed into this node?
-	back     func() // accumulates into parents' Grad; nil for leaves
+	requires bool // does any parameter feed into this node?
 	param    *Parameter
+
+	// backFn accumulates into the operands' Grad; nil for leaves. It is
+	// always a package-level function (never a closure), so recording an op
+	// allocates nothing beyond the slab entry.
+	backFn func(out *Node)
+	a      *Node          // first operand
+	b      *Node          // second operand
+	c      *Node          // third operand (Conv1DSame bias)
+	srcs   []*Node        // variadic operands (StackRows, ConcatVec)
+	ext    *tensor.Tensor // auxiliary tensor (dropout mask)
+	x0     float64        // scalar operand (Scale factor, MulScalarNode value)
+	i0, i1 int            // integer operands (slice bounds, row index, dims)
 }
 
 // Graph is a tape of nodes in forward (topological) order.
@@ -67,6 +91,10 @@ type Node struct {
 // parallel.go) — each worker records onto its own child tape and the children
 // are spliced back deterministically. add enforces the rule with a cheap
 // tripwire that panics on detected concurrent appends.
+//
+// Graphs recycle: Reset returns every owned tensor to the arena and every
+// node slab to the pool, so per-epoch loops reuse one graph instead of
+// reallocating the whole tape (see recycle.go).
 type Graph struct {
 	nodes []*Node
 
@@ -74,6 +102,16 @@ type Graph struct {
 	parent *Graph
 	// busy is the single-writer tripwire flag toggled around each append.
 	busy atomic.Bool
+
+	// owned lists the arena tensors allocated through Alloc, reclaimed on
+	// Reset.
+	owned []*tensor.Tensor
+	// cur/curUsed/full are the node slabs backing this tape's nodes.
+	cur     []Node
+	curUsed int
+	full    [][]Node
+	// children pools consumed child tapes for reuse by the next Fork.
+	children []*Graph
 }
 
 // NewGraph returns an empty tape.
@@ -103,20 +141,24 @@ func (g *Graph) add(n *Node) *Node {
 // touched).
 func (g *Graph) Param(p *Parameter) *Node {
 	if p.Frozen() {
-		return g.add(&Node{Value: p.Value, requires: false})
+		return g.newNode(p.Value, false)
 	}
-	return g.add(&Node{Value: p.Value, Grad: p.Grad, requires: true, param: p})
+	n := g.newNode(p.Value, true)
+	n.Grad = p.Grad
+	n.param = p
+	return n
 }
 
 // Const records a leaf node with no gradient flow.
 func (g *Graph) Const(t *tensor.Tensor) *Node {
-	return g.add(&Node{Value: t, requires: false})
+	return g.newNode(t, false)
 }
 
-// ensureGrad allocates the node's gradient buffer on first use.
+// ensureGrad allocates the node's gradient buffer on first use. It draws from
+// the graph arena, so gradient buffers recycle with the tape.
 func (n *Node) ensureGrad() *tensor.Tensor {
 	if n.Grad == nil {
-		n.Grad = tensor.New(n.Value.Shape()...)
+		n.Grad = n.graph.AllocLike(n.Value)
 	}
 	return n.Grad
 }
@@ -134,8 +176,8 @@ func (g *Graph) Backward(out *Node) {
 	out.Grad.Data[0] = 1
 	for i := len(g.nodes) - 1; i >= 0; i-- {
 		n := g.nodes[i]
-		if n.back != nil && n.requires && n.Grad != nil {
-			n.back()
+		if n.backFn != nil && n.requires && n.Grad != nil {
+			n.backFn(n)
 		}
 	}
 }
@@ -166,220 +208,271 @@ func sameGraph(op string, nodes ...*Node) *Graph {
 
 // ---- Elementwise binary operations ----
 
+func backAdd(out *Node) {
+	if out.a.requires {
+		tensor.AddInPlace(out.a.ensureGrad(), out.Grad)
+	}
+	if out.b.requires {
+		tensor.AddInPlace(out.b.ensureGrad(), out.Grad)
+	}
+}
+
 // Add returns a + b elementwise.
 func Add(a, b *Node) *Node {
 	g := sameGraph("Add", a, b)
-	out := &Node{Value: tensor.Add(a.Value, b.Value), requires: a.requires || b.requires}
-	out.back = func() {
-		if a.requires {
-			tensor.AddInPlace(a.ensureGrad(), out.Grad)
-		}
-		if b.requires {
-			tensor.AddInPlace(b.ensureGrad(), out.Grad)
-		}
+	val := tensor.AddTo(g.AllocLike(a.Value), a.Value, b.Value)
+	out := g.newNode(val, a.requires || b.requires)
+	out.backFn, out.a, out.b = backAdd, a, b
+	return out
+}
+
+func backSub(out *Node) {
+	if out.a.requires {
+		tensor.AddInPlace(out.a.ensureGrad(), out.Grad)
 	}
-	return g.add(out)
+	if out.b.requires {
+		tensor.AxpyInPlace(out.b.ensureGrad(), -1, out.Grad)
+	}
 }
 
 // Sub returns a - b elementwise.
 func Sub(a, b *Node) *Node {
 	g := sameGraph("Sub", a, b)
-	out := &Node{Value: tensor.Sub(a.Value, b.Value), requires: a.requires || b.requires}
-	out.back = func() {
-		if a.requires {
-			tensor.AddInPlace(a.ensureGrad(), out.Grad)
-		}
-		if b.requires {
-			tensor.AxpyInPlace(b.ensureGrad(), -1, out.Grad)
+	val := tensor.SubTo(g.AllocLike(a.Value), a.Value, b.Value)
+	out := g.newNode(val, a.requires || b.requires)
+	out.backFn, out.a, out.b = backSub, a, b
+	return out
+}
+
+func backMul(out *Node) {
+	a, b := out.a, out.b
+	if a.requires {
+		ga := a.ensureGrad()
+		for i := range ga.Data {
+			ga.Data[i] += out.Grad.Data[i] * b.Value.Data[i]
 		}
 	}
-	return g.add(out)
+	if b.requires {
+		gb := b.ensureGrad()
+		for i := range gb.Data {
+			gb.Data[i] += out.Grad.Data[i] * a.Value.Data[i]
+		}
+	}
 }
 
 // Mul returns the elementwise product a * b.
 func Mul(a, b *Node) *Node {
 	g := sameGraph("Mul", a, b)
-	out := &Node{Value: tensor.Mul(a.Value, b.Value), requires: a.requires || b.requires}
-	out.back = func() {
-		if a.requires {
-			ga := a.ensureGrad()
-			for i := range ga.Data {
-				ga.Data[i] += out.Grad.Data[i] * b.Value.Data[i]
-			}
-		}
-		if b.requires {
-			gb := b.ensureGrad()
-			for i := range gb.Data {
-				gb.Data[i] += out.Grad.Data[i] * a.Value.Data[i]
-			}
-		}
+	val := tensor.MulTo(g.AllocLike(a.Value), a.Value, b.Value)
+	out := g.newNode(val, a.requires || b.requires)
+	out.backFn, out.a, out.b = backMul, a, b
+	return out
+}
+
+func backScale(out *Node) {
+	if out.a.requires {
+		tensor.AxpyInPlace(out.a.ensureGrad(), out.x0, out.Grad)
 	}
-	return g.add(out)
 }
 
 // Scale returns a * s for a constant scalar s.
 func Scale(a *Node, s float64) *Node {
-	out := &Node{Value: tensor.Scale(a.Value, s), requires: a.requires}
-	out.back = func() {
-		if a.requires {
-			tensor.AxpyInPlace(a.ensureGrad(), s, out.Grad)
-		}
+	g := a.graph
+	val := tensor.ScaleTo(g.AllocLike(a.Value), a.Value, s)
+	out := g.newNode(val, a.requires)
+	out.backFn, out.a, out.x0 = backScale, a, s
+	return out
+}
+
+// backPassthrough accumulates the output gradient into the sole operand
+// unchanged. Shared by AddScalar, Ref, and any other identity-gradient op
+// whose operand has the same shape as the output.
+func backPassthrough(out *Node) {
+	if out.a.requires {
+		tensor.AddInPlace(out.a.ensureGrad(), out.Grad)
 	}
-	return a.graph.add(out)
 }
 
 // AddScalar returns a + s elementwise for a constant scalar s.
 func AddScalar(a *Node, s float64) *Node {
-	out := &Node{Value: a.Value.Map(func(x float64) float64 { return x + s }), requires: a.requires}
-	out.back = func() {
-		if a.requires {
-			tensor.AddInPlace(a.ensureGrad(), out.Grad)
-		}
-	}
-	return a.graph.add(out)
+	g := a.graph
+	val := tensor.AddScalarTo(g.AllocLike(a.Value), a.Value, s)
+	out := g.newNode(val, a.requires)
+	out.backFn, out.a = backPassthrough, a
+	return out
 }
 
 // ---- Linear algebra ----
 
+func backMatMul(out *Node) {
+	// dL/dA = dL/dOut · Bᵀ ; dL/dB = Aᵀ · dL/dOut — fused, no transpose
+	// or product temporaries.
+	if out.a.requires {
+		tensor.MatMulNTAcc(out.a.ensureGrad(), out.Grad, out.b.Value)
+	}
+	if out.b.requires {
+		tensor.MatMulTNAcc(out.b.ensureGrad(), out.a.Value, out.Grad)
+	}
+}
+
 // MatMul returns the matrix product of two rank-2 nodes.
 func MatMul(a, b *Node) *Node {
 	g := sameGraph("MatMul", a, b)
-	out := &Node{Value: tensor.MatMul(a.Value, b.Value), requires: a.requires || b.requires}
-	out.back = func() {
-		// dL/dA = dL/dOut · Bᵀ ; dL/dB = Aᵀ · dL/dOut
-		if a.requires {
-			tensor.AddInPlace(a.ensureGrad(), tensor.MatMul(out.Grad, tensor.Transpose(b.Value)))
-		}
-		if b.requires {
-			tensor.AddInPlace(b.ensureGrad(), tensor.MatMul(tensor.Transpose(a.Value), out.Grad))
+	if a.Value.Rank() != 2 || b.Value.Rank() != 2 {
+		panic(fmt.Sprintf("autodiff: MatMul requires rank-2 operands, got %v x %v", a.Value.Shape(), b.Value.Shape()))
+	}
+	if a.Value.Dim(1) != b.Value.Dim(0) {
+		panic(fmt.Sprintf("autodiff: MatMul inner dimensions differ: %v x %v", a.Value.Shape(), b.Value.Shape()))
+	}
+	val := tensor.MatMulTo(g.Alloc(a.Value.Dim(0), b.Value.Dim(1)), a.Value, b.Value)
+	out := g.newNode(val, a.requires || b.requires)
+	out.backFn, out.a, out.b = backMatMul, a, b
+	return out
+}
+
+func backAddRowVector(out *Node) {
+	if out.a.requires {
+		tensor.AddInPlace(out.a.ensureGrad(), out.Grad)
+	}
+	if out.b.requires {
+		gv := out.b.ensureGrad()
+		m, n := out.Grad.Dim(0), out.Grad.Dim(1)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				gv.Data[j] += out.Grad.Data[i*n+j]
+			}
 		}
 	}
-	return g.add(out)
 }
 
 // AddRowVector adds a rank-1 bias node v to every row of rank-2 node a.
 func AddRowVector(a, v *Node) *Node {
 	g := sameGraph("AddRowVector", a, v)
-	out := &Node{Value: tensor.AddRowVector(a.Value, v.Value), requires: a.requires || v.requires}
-	out.back = func() {
-		if a.requires {
-			tensor.AddInPlace(a.ensureGrad(), out.Grad)
-		}
-		if v.requires {
-			gv := v.ensureGrad()
-			m, n := out.Grad.Dim(0), out.Grad.Dim(1)
-			for i := 0; i < m; i++ {
-				for j := 0; j < n; j++ {
-					gv.Data[j] += out.Grad.Data[i*n+j]
-				}
-			}
-		}
+	val := tensor.AddRowVectorTo(g.AllocLike(a.Value), a.Value, v.Value)
+	out := g.newNode(val, a.requires || v.requires)
+	out.backFn, out.a, out.b = backAddRowVector, a, v
+	return out
+}
+
+func backTranspose(out *Node) {
+	if out.a.requires {
+		tensor.TransposeAcc(out.a.ensureGrad(), out.Grad)
 	}
-	return g.add(out)
 }
 
 // Transpose returns the transpose of a rank-2 node.
 func Transpose(a *Node) *Node {
-	out := &Node{Value: tensor.Transpose(a.Value), requires: a.requires}
-	out.back = func() {
-		if a.requires {
-			tensor.AddInPlace(a.ensureGrad(), tensor.Transpose(out.Grad))
-		}
+	g := a.graph
+	if a.Value.Rank() != 2 {
+		panic(fmt.Sprintf("autodiff: Transpose requires rank-2, got %v", a.Value.Shape()))
 	}
-	return a.graph.add(out)
+	val := tensor.TransposeTo(g.Alloc(a.Value.Dim(1), a.Value.Dim(0)), a.Value)
+	out := g.newNode(val, a.requires)
+	out.backFn, out.a = backTranspose, a
+	return out
 }
 
 // ---- Activations ----
 
+func backSigmoid(out *Node) {
+	if out.a.requires {
+		tensor.SigmoidBackwardAcc(out.a.ensureGrad(), out.Grad, out.Value)
+	}
+}
+
 // Sigmoid applies the logistic function elementwise.
 func Sigmoid(a *Node) *Node {
-	val := a.Value.Map(func(x float64) float64 { return 1 / (1 + math.Exp(-x)) })
-	out := &Node{Value: val, requires: a.requires}
-	out.back = func() {
-		if a.requires {
-			ga := a.ensureGrad()
-			for i := range ga.Data {
-				s := val.Data[i]
-				ga.Data[i] += out.Grad.Data[i] * s * (1 - s)
-			}
-		}
+	g := a.graph
+	val := tensor.SigmoidTo(g.AllocLike(a.Value), a.Value)
+	out := g.newNode(val, a.requires)
+	out.backFn, out.a = backSigmoid, a
+	return out
+}
+
+func backTanh(out *Node) {
+	if out.a.requires {
+		tensor.TanhBackwardAcc(out.a.ensureGrad(), out.Grad, out.Value)
 	}
-	return a.graph.add(out)
 }
 
 // Tanh applies the hyperbolic tangent elementwise.
 func Tanh(a *Node) *Node {
-	val := a.Value.Map(math.Tanh)
-	out := &Node{Value: val, requires: a.requires}
-	out.back = func() {
-		if a.requires {
-			ga := a.ensureGrad()
-			for i := range ga.Data {
-				th := val.Data[i]
-				ga.Data[i] += out.Grad.Data[i] * (1 - th*th)
+	g := a.graph
+	val := tensor.TanhTo(g.AllocLike(a.Value), a.Value)
+	out := g.newNode(val, a.requires)
+	out.backFn, out.a = backTanh, a
+	return out
+}
+
+func backReLU(out *Node) {
+	if out.a.requires {
+		ga := out.a.ensureGrad()
+		for i := range ga.Data {
+			if out.a.Value.Data[i] > 0 {
+				ga.Data[i] += out.Grad.Data[i]
 			}
 		}
 	}
-	return a.graph.add(out)
 }
 
 // ReLU applies max(0, x) elementwise.
 func ReLU(a *Node) *Node {
-	val := a.Value.Map(func(x float64) float64 {
-		if x > 0 {
-			return x
-		}
-		return 0
-	})
-	out := &Node{Value: val, requires: a.requires}
-	out.back = func() {
-		if a.requires {
-			ga := a.ensureGrad()
-			for i := range ga.Data {
-				if a.Value.Data[i] > 0 {
-					ga.Data[i] += out.Grad.Data[i]
-				}
-			}
+	g := a.graph
+	val := tensor.ReLUTo(g.AllocLike(a.Value), a.Value)
+	out := g.newNode(val, a.requires)
+	out.backFn, out.a = backReLU, a
+	return out
+}
+
+func backSqrt(out *Node) {
+	if out.a.requires {
+		ga := out.a.ensureGrad()
+		for i := range ga.Data {
+			ga.Data[i] += out.Grad.Data[i] * 0.5 / out.Value.Data[i]
 		}
 	}
-	return a.graph.add(out)
 }
 
 // Sqrt applies the square root elementwise. Inputs must be positive (the
 // derivative diverges at zero); callers add an epsilon where needed.
 func Sqrt(a *Node) *Node {
-	val := a.Value.Map(math.Sqrt)
-	out := &Node{Value: val, requires: a.requires}
-	out.back = func() {
-		if a.requires {
-			ga := a.ensureGrad()
-			for i := range ga.Data {
-				ga.Data[i] += out.Grad.Data[i] * 0.5 / val.Data[i]
-			}
+	g := a.graph
+	val := tensor.SqrtTo(g.AllocLike(a.Value), a.Value)
+	out := g.newNode(val, a.requires)
+	out.backFn, out.a = backSqrt, a
+	return out
+}
+
+func backSoftplus(out *Node) {
+	if out.a.requires {
+		ga := out.a.ensureGrad()
+		for i := range ga.Data {
+			ga.Data[i] += out.Grad.Data[i] / (1 + math.Exp(-out.a.Value.Data[i]))
 		}
 	}
-	return a.graph.add(out)
 }
 
 // Softplus applies log(1+e^x) elementwise — a smooth non-negativity map used
 // for learnable gain parameters.
 func Softplus(a *Node) *Node {
-	val := a.Value.Map(func(x float64) float64 {
-		if x > 30 {
-			return x // avoids overflow; log(1+e^x) ≈ x
-		}
-		return math.Log1p(math.Exp(x))
-	})
-	out := &Node{Value: val, requires: a.requires}
-	out.back = func() {
-		if a.requires {
-			ga := a.ensureGrad()
-			for i := range ga.Data {
-				ga.Data[i] += out.Grad.Data[i] / (1 + math.Exp(-a.Value.Data[i]))
-			}
+	g := a.graph
+	val := tensor.SoftplusTo(g.AllocLike(a.Value), a.Value)
+	out := g.newNode(val, a.requires)
+	out.backFn, out.a = backSoftplus, a
+	return out
+}
+
+func backMulScalarNode(out *Node) {
+	a, s := out.a, out.b
+	if a.requires {
+		tensor.AxpyInPlace(a.ensureGrad(), out.x0, out.Grad)
+	}
+	if s.requires {
+		gs := s.ensureGrad()
+		for i := range out.Grad.Data {
+			gs.Data[0] += out.Grad.Data[i] * a.Value.Data[i]
 		}
 	}
-	return a.graph.add(out)
 }
 
 // MulScalarNode multiplies every element of a by the single-element node s.
@@ -389,24 +482,35 @@ func MulScalarNode(a, s *Node) *Node {
 		panic(fmt.Sprintf("autodiff: MulScalarNode scalar has shape %v", s.Value.Shape()))
 	}
 	sv := s.Value.Data[0]
-	out := &Node{Value: tensor.Scale(a.Value, sv), requires: a.requires || s.requires}
-	out.back = func() {
-		if a.requires {
-			tensor.AxpyInPlace(a.ensureGrad(), sv, out.Grad)
+	val := tensor.ScaleTo(g.AllocLike(a.Value), a.Value, sv)
+	out := g.newNode(val, a.requires || s.requires)
+	out.backFn, out.a, out.b, out.x0 = backMulScalarNode, a, s, sv
+	return out
+}
+
+func backSoftmaxRows(out *Node) {
+	if !out.a.requires {
+		return
+	}
+	rows, cols := out.i0, out.i1
+	ga := out.a.ensureGrad()
+	for r := 0; r < rows; r++ {
+		// dx_i = s_i * (dy_i - Σ_j dy_j s_j)
+		dot := 0.0
+		for j := 0; j < cols; j++ {
+			dot += out.Grad.Data[r*cols+j] * out.Value.Data[r*cols+j]
 		}
-		if s.requires {
-			gs := s.ensureGrad()
-			for i := range out.Grad.Data {
-				gs.Data[0] += out.Grad.Data[i] * a.Value.Data[i]
-			}
+		for j := 0; j < cols; j++ {
+			s := out.Value.Data[r*cols+j]
+			ga.Data[r*cols+j] += s * (out.Grad.Data[r*cols+j] - dot)
 		}
 	}
-	return g.add(out)
 }
 
 // SoftmaxRows applies a numerically stable softmax independently to each row
 // of a rank-2 node (or to the whole of a rank-1 node).
 func SoftmaxRows(a *Node) *Node {
+	g := a.graph
 	var rows, cols int
 	switch a.Value.Rank() {
 	case 1:
@@ -416,7 +520,7 @@ func SoftmaxRows(a *Node) *Node {
 	default:
 		panic(fmt.Sprintf("autodiff: SoftmaxRows requires rank 1 or 2, got %v", a.Value.Shape()))
 	}
-	val := tensor.New(a.Value.Shape()...)
+	val := g.AllocLike(a.Value)
 	for r := 0; r < rows; r++ {
 		row := a.Value.Data[r*cols : (r+1)*cols]
 		max := math.Inf(-1)
@@ -435,25 +539,18 @@ func SoftmaxRows(a *Node) *Node {
 			val.Data[r*cols+j] /= sum
 		}
 	}
-	out := &Node{Value: val, requires: a.requires}
-	out.back = func() {
-		if !a.requires {
-			return
-		}
-		ga := a.ensureGrad()
-		for r := 0; r < rows; r++ {
-			// dx_i = s_i * (dy_i - Σ_j dy_j s_j)
-			dot := 0.0
-			for j := 0; j < cols; j++ {
-				dot += out.Grad.Data[r*cols+j] * val.Data[r*cols+j]
-			}
-			for j := 0; j < cols; j++ {
-				s := val.Data[r*cols+j]
-				ga.Data[r*cols+j] += s * (out.Grad.Data[r*cols+j] - dot)
-			}
+	out := g.newNode(val, a.requires)
+	out.backFn, out.a, out.i0, out.i1 = backSoftmaxRows, a, rows, cols
+	return out
+}
+
+func backDropout(out *Node) {
+	if out.a.requires {
+		ga := out.a.ensureGrad()
+		for i := range ga.Data {
+			ga.Data[i] += out.Grad.Data[i] * out.ext.Data[i]
 		}
 	}
-	return a.graph.add(out)
 }
 
 // Dropout zeroes each element with probability p during training and scales
@@ -466,21 +563,16 @@ func Dropout(a *Node, p float64, train bool, rng *rand.Rand) *Node {
 	if p >= 1 {
 		panic("autodiff: Dropout probability must be < 1")
 	}
-	mask := tensor.New(a.Value.Shape()...)
+	g := a.graph
+	mask := g.AllocLike(a.Value)
 	scale := 1 / (1 - p)
 	for i := range mask.Data {
 		if rng.Float64() >= p {
 			mask.Data[i] = scale
 		}
 	}
-	out := &Node{Value: tensor.Mul(a.Value, mask), requires: a.requires}
-	out.back = func() {
-		if a.requires {
-			ga := a.ensureGrad()
-			for i := range ga.Data {
-				ga.Data[i] += out.Grad.Data[i] * mask.Data[i]
-			}
-		}
-	}
-	return a.graph.add(out)
+	val := tensor.MulTo(g.AllocLike(a.Value), a.Value, mask)
+	out := g.newNode(val, a.requires)
+	out.backFn, out.a, out.ext = backDropout, a, mask
+	return out
 }

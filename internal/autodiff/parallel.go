@@ -2,7 +2,6 @@ package autodiff
 
 import (
 	"ovs/internal/parallel"
-	"ovs/internal/tensor"
 )
 
 // This file implements deterministic parallel graph construction.
@@ -15,13 +14,26 @@ import (
 // depends only on the fork indices — never on goroutine scheduling — the
 // joined tape, and therefore Backward's reverse replay and every gradient
 // accumulation, is identical at any worker count.
+//
+// Child tapes pool through the parent: Join hands a child's node slabs and
+// owned tensors to the parent (they are reclaimed at the parent's Reset) and
+// parks the empty child struct on g.children, where the next Fork picks it
+// up. A steady-state epoch loop therefore forks without allocating.
 
-// Fork creates a child tape of g. Nodes recorded on the child may reference
-// parent-tape nodes via Ref; the child is folded back with Join. Forking a
-// child tape is not supported (one level keeps the ownership rule auditable).
+// Fork creates a child tape of g, reusing a pooled child when one is
+// available. Nodes recorded on the child may reference parent-tape nodes via
+// Ref; the child is folded back with Join. Forking a child tape is not
+// supported (one level keeps the ownership rule auditable).
 func (g *Graph) Fork() *Graph {
 	if g.parent != nil {
 		panic("autodiff: Fork of an already-forked graph")
+	}
+	if k := len(g.children); k > 0 {
+		c := g.children[k-1]
+		g.children[k-1] = nil
+		g.children = g.children[:k-1]
+		c.parent = g
+		return c
 	}
 	return &Graph{parent: g}
 }
@@ -38,19 +50,17 @@ func (g *Graph) Ref(n *Node) *Node {
 	if g.parent == nil || n.graph != g.parent {
 		panic("autodiff: Ref target is not on the parent graph")
 	}
-	out := &Node{Value: n.Value, requires: n.requires}
-	out.back = func() {
-		if n.requires {
-			tensor.AddInPlace(n.ensureGrad(), out.Grad)
-		}
-	}
-	return g.add(out)
+	out := g.newNode(n.Value, n.requires)
+	out.backFn, out.a = backPassthrough, n
+	return out
 }
 
 // Join splices child tapes created by Fork back into g, in argument order.
 // Every child node is re-homed onto g, so results built on a child behave
-// exactly as if they had been recorded on g directly. The children are
-// consumed and must not be used afterwards.
+// exactly as if they had been recorded on g directly. The child's node slabs
+// and owned tensors transfer to g (reclaimed at g's Reset); the emptied child
+// struct is parked for reuse by the next Fork. The children must not be used
+// after Join.
 func (g *Graph) Join(subs ...*Graph) {
 	for _, sub := range subs {
 		if sub.parent != g {
@@ -60,8 +70,32 @@ func (g *Graph) Join(subs ...*Graph) {
 			n.graph = g
 		}
 		g.nodes = append(g.nodes, sub.nodes...)
-		sub.nodes = nil
+		for i := range sub.nodes {
+			sub.nodes[i] = nil
+		}
+		sub.nodes = sub.nodes[:0]
+
+		g.owned = append(g.owned, sub.owned...)
+		for i := range sub.owned {
+			sub.owned[i] = nil
+		}
+		sub.owned = sub.owned[:0]
+
+		// The child's slabs hold live nodes now referenced by g.nodes; they
+		// return to the global pool only after g.Reset zeroes them.
+		if sub.cur != nil {
+			g.full = append(g.full, sub.cur)
+			sub.cur = nil
+		}
+		g.full = append(g.full, sub.full...)
+		for i := range sub.full {
+			sub.full[i] = nil
+		}
+		sub.full = sub.full[:0]
+		sub.curUsed = 0
+
 		sub.parent = nil
+		g.children = append(g.children, sub)
 	}
 }
 

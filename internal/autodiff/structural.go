@@ -6,19 +6,24 @@ import (
 	"ovs/internal/tensor"
 )
 
-// Sum reduces a node to a scalar (shape [1]) by summing all elements.
-func Sum(a *Node) *Node {
-	out := &Node{Value: tensor.FromSlice([]float64{a.Value.Sum()}, 1), requires: a.requires}
-	out.back = func() {
-		if a.requires {
-			ga := a.ensureGrad()
-			g := out.Grad.Data[0]
-			for i := range ga.Data {
-				ga.Data[i] += g
-			}
+func backSum(out *Node) {
+	if out.a.requires {
+		ga := out.a.ensureGrad()
+		gr := out.Grad.Data[0]
+		for i := range ga.Data {
+			ga.Data[i] += gr
 		}
 	}
-	return a.graph.add(out)
+}
+
+// Sum reduces a node to a scalar (shape [1]) by summing all elements.
+func Sum(a *Node) *Node {
+	g := a.graph
+	val := g.Alloc(1)
+	val.Data[0] = a.Value.Sum()
+	out := g.newNode(val, a.requires)
+	out.backFn, out.a = backSum, a
+	return out
 }
 
 // Mean reduces a node to a scalar (shape [1]) by averaging all elements.
@@ -37,22 +42,41 @@ func MSE(pred *Node, target *tensor.Tensor) *Node {
 	return Mean(Mul(diff, diff))
 }
 
+func backRow(out *Node) {
+	if out.a.requires {
+		ga := out.a.ensureGrad()
+		i, n := out.i0, out.Value.Dim(0)
+		for j := 0; j < n; j++ {
+			ga.Data[i*n+j] += out.Grad.Data[j]
+		}
+	}
+}
+
 // Row extracts row i of a rank-2 node as a rank-1 node.
 func Row(a *Node, i int) *Node {
 	if a.Value.Rank() != 2 {
 		panic(fmt.Sprintf("autodiff: Row requires rank-2, got %v", a.Value.Shape()))
 	}
+	g := a.graph
 	n := a.Value.Dim(1)
-	out := &Node{Value: a.Value.Row(i), requires: a.requires}
-	out.back = func() {
-		if a.requires {
-			ga := a.ensureGrad()
-			for j := 0; j < n; j++ {
-				ga.Data[i*n+j] += out.Grad.Data[j]
-			}
+	val := g.Alloc(n)
+	copy(val.Data, a.Value.Data[i*n:(i+1)*n])
+	out := g.newNode(val, a.requires)
+	out.backFn, out.a, out.i0 = backRow, a, i
+	return out
+}
+
+func backStackRows(out *Node) {
+	n := out.Value.Dim(1)
+	for i, r := range out.srcs {
+		if !r.requires {
+			continue
+		}
+		gr := r.ensureGrad()
+		for j := 0; j < n; j++ {
+			gr.Data[j] += out.Grad.Data[i*n+j]
 		}
 	}
-	return a.graph.add(out)
 }
 
 // StackRows stacks rank-1 nodes of equal length into a rank-2 node, one row
@@ -64,27 +88,33 @@ func StackRows(rows []*Node) *Node {
 	g := sameGraph("StackRows", rows...)
 	n := rows[0].Value.Dim(0)
 	req := false
-	val := tensor.New(len(rows), n)
 	for i, r := range rows {
 		if r.Value.Rank() != 1 || r.Value.Dim(0) != n {
 			panic(fmt.Sprintf("autodiff: StackRows row %d shape %v, want [%d]", i, r.Value.Shape(), n))
 		}
-		copy(val.Data[i*n:(i+1)*n], r.Value.Data)
 		req = req || r.requires
 	}
-	out := &Node{Value: val, requires: req}
-	out.back = func() {
-		for i, r := range rows {
-			if !r.requires {
-				continue
-			}
-			gr := r.ensureGrad()
+	val := g.Alloc(len(rows), n)
+	for i, r := range rows {
+		copy(val.Data[i*n:(i+1)*n], r.Value.Data)
+	}
+	out := g.newNode(val, req)
+	out.backFn, out.srcs = backStackRows, rows
+	return out
+}
+
+func backConcatVec(out *Node) {
+	off := 0
+	for _, p := range out.srcs {
+		n := p.Value.Dim(0)
+		if p.requires {
+			gp := p.ensureGrad()
 			for j := 0; j < n; j++ {
-				gr.Data[j] += out.Grad.Data[i*n+j]
+				gp.Data[j] += out.Grad.Data[off+j]
 			}
 		}
+		off += n
 	}
-	return g.add(out)
 }
 
 // ConcatVec concatenates rank-1 nodes into one long rank-1 node.
@@ -102,27 +132,25 @@ func ConcatVec(parts ...*Node) *Node {
 		total += p.Value.Dim(0)
 		req = req || p.requires
 	}
-	val := tensor.New(total)
+	val := g.Alloc(total)
 	off := 0
 	for _, p := range parts {
 		copy(val.Data[off:], p.Value.Data)
 		off += p.Value.Dim(0)
 	}
-	out := &Node{Value: val, requires: req}
-	out.back = func() {
-		off := 0
-		for _, p := range parts {
-			n := p.Value.Dim(0)
-			if p.requires {
-				gp := p.ensureGrad()
-				for j := 0; j < n; j++ {
-					gp.Data[j] += out.Grad.Data[off+j]
-				}
-			}
-			off += n
+	out := g.newNode(val, req)
+	out.backFn, out.srcs = backConcatVec, parts
+	return out
+}
+
+func backSliceVec(out *Node) {
+	if out.a.requires {
+		ga := out.a.ensureGrad()
+		lo, hi := out.i0, out.i1
+		for j := lo; j < hi; j++ {
+			ga.Data[j] += out.Grad.Data[j-lo]
 		}
 	}
-	return g.add(out)
 }
 
 // SliceVec extracts elements [lo, hi) of a rank-1 node.
@@ -133,18 +161,12 @@ func SliceVec(a *Node, lo, hi int) *Node {
 	if lo < 0 || hi > a.Value.Dim(0) || lo >= hi {
 		panic(fmt.Sprintf("autodiff: SliceVec bounds [%d,%d) invalid for length %d", lo, hi, a.Value.Dim(0)))
 	}
-	val := tensor.New(hi - lo)
+	g := a.graph
+	val := g.Alloc(hi - lo)
 	copy(val.Data, a.Value.Data[lo:hi])
-	out := &Node{Value: val, requires: a.requires}
-	out.back = func() {
-		if a.requires {
-			ga := a.ensureGrad()
-			for j := lo; j < hi; j++ {
-				ga.Data[j] += out.Grad.Data[j-lo]
-			}
-		}
-	}
-	return a.graph.add(out)
+	out := g.newNode(val, a.requires)
+	out.backFn, out.a, out.i0, out.i1 = backSliceVec, a, lo, hi
+	return out
 }
 
 // SumNodes adds any number of same-shaped nodes elementwise. It is the
@@ -161,19 +183,51 @@ func SumNodes(parts ...*Node) *Node {
 	return out
 }
 
-// Reshape returns a view of a with a new shape. Gradients flow through
-// unchanged (the backing layout is identical).
+func backReshape(out *Node) {
+	if out.a.requires {
+		ga := out.a.ensureGrad()
+		for i := range ga.Data {
+			ga.Data[i] += out.Grad.Data[i]
+		}
+	}
+}
+
+// Reshape returns a copy of a with a new shape of the same total size.
+// Gradients flow through unchanged (the flat layout is identical). The copy —
+// rather than a tensor view — keeps the output graph-owned and poolable: a
+// view would alias the operand's backing array, which the arena must never
+// see twice.
 func Reshape(a *Node, shape ...int) *Node {
-	out := &Node{Value: a.Value.Reshape(shape...), requires: a.requires}
-	out.back = func() {
-		if a.requires {
-			ga := a.ensureGrad()
-			for i := range ga.Data {
-				ga.Data[i] += out.Grad.Data[i]
+	g := a.graph
+	val := g.Alloc(shape...)
+	if len(val.Data) != len(a.Value.Data) {
+		panic(fmt.Sprintf("autodiff: Reshape size mismatch %v -> %v", a.Value.Shape(), shape))
+	}
+	copy(val.Data, a.Value.Data)
+	out := g.newNode(val, a.requires)
+	out.backFn, out.a = backReshape, a
+	return out
+}
+
+func backLagAttend(out *Node) {
+	alpha, p := out.a, out.b
+	w, tt := alpha.Value.Dim(0), alpha.Value.Dim(1)
+	if alpha.requires {
+		ga := alpha.ensureGrad()
+		for t := 0; t < tt; t++ {
+			for lag := 0; lag < w && lag <= t; lag++ {
+				ga.Data[lag*tt+t] += out.Grad.Data[t] * p.Value.Data[t-lag]
 			}
 		}
 	}
-	return a.graph.add(out)
+	if p.requires {
+		gp := p.ensureGrad()
+		for t := 0; t < tt; t++ {
+			for lag := 0; lag < w && lag <= t; lag++ {
+				gp.Data[t-lag] += out.Grad.Data[t] * alpha.Value.Data[lag*tt+t]
+			}
+		}
+	}
 }
 
 // LagAttend computes the lag-attention contraction at the heart of the
@@ -192,7 +246,7 @@ func LagAttend(alpha, p *Node) *Node {
 	if p.Value.Dim(0) != tt {
 		panic(fmt.Sprintf("autodiff: LagAttend time dims differ: alpha %v vs p %v", alpha.Value.Shape(), p.Value.Shape()))
 	}
-	val := tensor.New(tt)
+	val := g.Alloc(tt)
 	for t := 0; t < tt; t++ {
 		s := 0.0
 		for lag := 0; lag < w && lag <= t; lag++ {
@@ -200,26 +254,41 @@ func LagAttend(alpha, p *Node) *Node {
 		}
 		val.Data[t] = s
 	}
-	out := &Node{Value: val, requires: alpha.requires || p.requires}
-	out.back = func() {
-		if alpha.requires {
-			ga := alpha.ensureGrad()
-			for t := 0; t < tt; t++ {
-				for lag := 0; lag < w && lag <= t; lag++ {
-					ga.Data[lag*tt+t] += out.Grad.Data[t] * p.Value.Data[t-lag]
-				}
+	out := g.newNode(val, alpha.requires || p.requires)
+	out.backFn, out.a, out.b = backLagAttend, alpha, p
+	return out
+}
+
+func backConv1DSame(out *Node) {
+	x, kernels, bias := out.a, out.b, out.c
+	cin, tt := x.Value.Dim(0), x.Value.Dim(1)
+	cout, k := kernels.Value.Dim(0), kernels.Value.Dim(2)
+	half := k / 2
+	for co := 0; co < cout; co++ {
+		for t := 0; t < tt; t++ {
+			gOut := out.Grad.Data[co*tt+t]
+			if gOut == 0 {
+				continue
 			}
-		}
-		if p.requires {
-			gp := p.ensureGrad()
-			for t := 0; t < tt; t++ {
-				for lag := 0; lag < w && lag <= t; lag++ {
-					gp.Data[t-lag] += out.Grad.Data[t] * alpha.Value.Data[lag*tt+t]
+			if bias.requires {
+				bias.ensureGrad().Data[co] += gOut
+			}
+			for ci := 0; ci < cin; ci++ {
+				for kk := 0; kk < k; kk++ {
+					src := t + kk - half
+					if src < 0 || src >= tt {
+						continue
+					}
+					if kernels.requires {
+						kernels.ensureGrad().Data[(co*cin+ci)*k+kk] += gOut * x.Value.Data[ci*tt+src]
+					}
+					if x.requires {
+						x.ensureGrad().Data[ci*tt+src] += gOut * kernels.Value.Data[(co*cin+ci)*k+kk]
+					}
 				}
 			}
 		}
 	}
-	return g.add(out)
 }
 
 // Conv1DSame applies a multi-channel 1-D convolution with "same" zero
@@ -241,7 +310,7 @@ func Conv1DSame(x, kernels, bias *Node) *Node {
 		panic("autodiff: Conv1DSame requires an odd kernel width")
 	}
 	half := k / 2
-	val := tensor.New(cout, tt)
+	val := g.Alloc(cout, tt)
 	for co := 0; co < cout; co++ {
 		for t := 0; t < tt; t++ {
 			s := bias.Value.Data[co]
@@ -257,33 +326,7 @@ func Conv1DSame(x, kernels, bias *Node) *Node {
 			val.Data[co*tt+t] = s
 		}
 	}
-	out := &Node{Value: val, requires: x.requires || kernels.requires || bias.requires}
-	out.back = func() {
-		for co := 0; co < cout; co++ {
-			for t := 0; t < tt; t++ {
-				gOut := out.Grad.Data[co*tt+t]
-				if gOut == 0 {
-					continue
-				}
-				if bias.requires {
-					bias.ensureGrad().Data[co] += gOut
-				}
-				for ci := 0; ci < cin; ci++ {
-					for kk := 0; kk < k; kk++ {
-						src := t + kk - half
-						if src < 0 || src >= tt {
-							continue
-						}
-						if kernels.requires {
-							kernels.ensureGrad().Data[(co*cin+ci)*k+kk] += gOut * x.Value.Data[ci*tt+src]
-						}
-						if x.requires {
-							x.ensureGrad().Data[ci*tt+src] += gOut * kernels.Value.Data[(co*cin+ci)*k+kk]
-						}
-					}
-				}
-			}
-		}
-	}
-	return g.add(out)
+	out := g.newNode(val, x.requires || kernels.requires || bias.requires)
+	out.backFn, out.a, out.b, out.c = backConv1DSame, x, kernels, bias
+	return out
 }

@@ -173,6 +173,7 @@ func NewModel(topo *Topology, cfg Config) *Model {
 // PredictVolume runs the TOD-Volume mapping on a concrete TOD tensor.
 func (m *Model) PredictVolume(tod *tensor.Tensor) *tensor.Tensor {
 	g := autodiff.NewGraph()
+	defer g.Release()
 	out := m.T2V.MapVolume(g, g.Const(tod), false)
 	return out.Value.Clone()
 }
@@ -180,6 +181,7 @@ func (m *Model) PredictVolume(tod *tensor.Tensor) *tensor.Tensor {
 // PredictSpeed runs the Volume-Speed mapping on a concrete volume tensor.
 func (m *Model) PredictSpeed(vol *tensor.Tensor) *tensor.Tensor {
 	g := autodiff.NewGraph()
+	defer g.Release()
 	out := m.V2S.MapSpeed(g, g.Const(vol), false)
 	return out.Value.Clone()
 }
@@ -187,6 +189,7 @@ func (m *Model) PredictSpeed(vol *tensor.Tensor) *tensor.Tensor {
 // Forward runs TOD → volume → speed on a concrete TOD tensor.
 func (m *Model) Forward(tod *tensor.Tensor) (vol, speed *tensor.Tensor) {
 	g := autodiff.NewGraph()
+	defer g.Release()
 	vNode := m.T2V.MapVolume(g, g.Const(tod), false)
 	sNode := m.V2S.MapSpeed(g, vNode, false)
 	return vNode.Value.Clone(), sNode.Value.Clone()
@@ -195,6 +198,7 @@ func (m *Model) Forward(tod *tensor.Tensor) (vol, speed *tensor.Tensor) {
 // GenerateTOD evaluates the TOD generator's current output.
 func (m *Model) GenerateTOD() *tensor.Tensor {
 	g := autodiff.NewGraph()
+	defer g.Release()
 	return m.TODGen.Generate(g).Value.Clone()
 }
 

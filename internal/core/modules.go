@@ -217,7 +217,7 @@ func (a *AttentionT2V) MapVolume(g *autodiff.Graph, tod *autodiff.Node, train bo
 		return []*autodiff.Node{logits, gain}
 	})
 
-	zeroRow := g.Const(tensor.New(topo.T))
+	zeroRow := g.Const(g.Alloc(topo.T))
 	volRows := autodiff.ForkJoin(g, workers, topo.M, func(sub *autodiff.Graph, j int) *autodiff.Node {
 		incs := topo.linkRoutes[j]
 		if len(incs) == 0 {
@@ -307,7 +307,9 @@ func (v *LSTMV2S) MapSpeed(g *autodiff.Graph, vol *autodiff.Node, train bool) *a
 		// Assemble (T × 5): volume plus broadcast static features.
 		featRows := []*autodiff.Node{q}
 		for f := 0; f < 4; f++ {
-			featRows = append(featRows, sub.Const(tensor.Full(v.topo.linkFeatures.At(j, f), topo.T)))
+			ft := sub.Alloc(topo.T)
+			ft.Fill(v.topo.linkFeatures.At(j, f))
+			featRows = append(featRows, sub.Const(ft))
 		}
 		x := autodiff.Transpose(autodiff.StackRows(featRows)) // (T × 5)
 		h := v.lstm1.Forward(x, train)

@@ -21,10 +21,14 @@ func (m *Model) TrainV2S(samples []Sample, epochs int) ([]float64, error) {
 	params := m.V2S.Params()
 	opt := nn.NewAdam(m.Cfg.LR)
 	history := make([]float64, 0, epochs)
+	// One recycled graph serves every sample of every epoch: Reset returns
+	// the previous tape's tensors to the arena before each forward pass.
+	g := autodiff.NewGraph()
+	defer g.Release()
 	for e := 0; e < epochs; e++ {
 		total := 0.0
 		for _, s := range samples {
-			g := autodiff.NewGraph()
+			g.Reset()
 			pred := m.V2S.MapSpeed(g, g.Const(s.Volume), true)
 			loss := autodiff.MSE(pred, s.Speed)
 			total += loss.Value.Data[0]
@@ -57,17 +61,19 @@ func (m *Model) TrainT2V(samples []Sample, epochs int) ([]float64, error) {
 	opt := nn.NewAdam(m.Cfg.LR)
 	history := make([]float64, 0, epochs)
 	volNorm := 1.0 / m.Cfg.VolumeNorm
+	g := autodiff.NewGraph()
+	defer g.Release()
 	for e := 0; e < epochs; e++ {
 		total := 0.0
 		for _, s := range samples {
-			g := autodiff.NewGraph()
+			g.Reset()
 			vol := m.T2V.MapVolume(g, g.Const(s.G), true)
 			// Volume-Speed runs in frozen inference mode: its parameters are
 			// simply absent from the optimized set.
 			speed := m.V2S.MapSpeed(g, vol, false)
 			loss := autodiff.MSE(speed, s.Speed)
 			if m.Cfg.VolumeLossWeight > 0 {
-				volLoss := autodiff.MSE(autodiff.Scale(vol, volNorm), tensor.Scale(s.Volume, volNorm))
+				volLoss := autodiff.MSE(autodiff.Scale(vol, volNorm), tensor.ScaleTo(g.AllocLike(s.Volume), s.Volume, volNorm))
 				loss = autodiff.Add(loss, autodiff.Scale(volLoss, m.Cfg.VolumeLossWeight))
 			}
 			total += loss.Value.Data[0]
@@ -136,8 +142,10 @@ func (m *Model) fitGen(gen TODGenModule, speedObs *tensor.Tensor, epochs int, au
 	params := gen.Params()
 	opt := nn.NewAdam(m.Cfg.LR)
 	history := make([]float64, 0, epochs)
+	g := autodiff.NewGraph()
+	defer g.Release()
 	for e := 0; e < epochs; e++ {
-		g := autodiff.NewGraph()
+		g.Reset()
 		tod := gen.Generate(g)
 		vol := m.T2V.MapVolume(g, tod, false)
 		speed := m.V2S.MapSpeed(g, vol, false)
@@ -191,7 +199,7 @@ func (m *Model) fitLoss(g *autodiff.Graph, speed *autodiff.Node, speedObs *tenso
 		if len(linkWeights) != m.Topo.M {
 			panic(fmt.Sprintf("core: %d link weights for %d links", len(linkWeights), m.Topo.M))
 		}
-		weights = tensor.New(m.Topo.M, m.Topo.T)
+		weights = g.Alloc(m.Topo.M, m.Topo.T)
 		for j, w := range linkWeights {
 			for t := 0; t < m.Topo.T; t++ {
 				weights.Set(w, j, t)
@@ -219,10 +227,10 @@ func (m *Model) fitLoss(g *autodiff.Graph, speed *autodiff.Node, speedObs *tenso
 func (m *Model) smoothPenalty(g *autodiff.Graph, tod *autodiff.Node) *autodiff.Node {
 	t := m.Topo.T
 	if t < 2 {
-		return g.Const(tensor.New(1))
+		return g.Const(g.Alloc(1))
 	}
 	// Difference matrix D (T × T-1): (tod·D)[i,k] = tod[i,k+1] - tod[i,k].
-	d := tensor.New(t, t-1)
+	d := g.Alloc(t, t-1)
 	for k := 0; k < t-1; k++ {
 		d.Set(-1, k, k)
 		d.Set(1, k+1, k)
@@ -233,7 +241,7 @@ func (m *Model) smoothPenalty(g *autodiff.Graph, tod *autodiff.Node) *autodiff.N
 
 // auxLoss assembles the auxiliary terms of Eq. 13 on the current graph.
 func (m *Model) auxLoss(g *autodiff.Graph, tod, vol *autodiff.Node, aux *AuxData) *autodiff.Node {
-	zero := g.Const(tensor.New(1))
+	zero := g.Const(g.Alloc(1))
 	total := zero
 
 	// Census (TOD level, static): || Σ_t g_i - census_i ||² per OD,
@@ -243,11 +251,15 @@ func (m *Model) auxLoss(g *autodiff.Graph, tod, vol *autodiff.Node, aux *AuxData
 			panic(fmt.Sprintf("core: census length %d != N=%d", len(aux.CensusSum), m.Topo.N))
 		}
 		// Row sums of the TOD node: tod · 1_T.
-		ones := g.Const(tensor.Ones(m.Topo.T, 1))
-		sums := autodiff.MatMul(tod, ones) // (N × 1)
-		target := tensor.FromSlice(append([]float64(nil), aux.CensusSum...), m.Topo.N, 1)
+		onesT := g.Alloc(m.Topo.T, 1)
+		onesT.Fill(1)
+		sums := autodiff.MatMul(tod, g.Const(onesT)) // (N × 1)
 		norm := 1.0 / (m.Cfg.MaxTrips * float64(m.Topo.T))
-		diff := autodiff.Sub(autodiff.Scale(sums, norm), g.Const(tensor.Scale(target, norm)))
+		target := g.Alloc(m.Topo.N, 1)
+		for i, c := range aux.CensusSum {
+			target.Data[i] = c * norm
+		}
+		diff := autodiff.Sub(autodiff.Scale(sums, norm), g.Const(target))
 		total = autodiff.Add(total, autodiff.Scale(autodiff.Mean(autodiff.Mul(diff, diff)), aux.CensusWeight))
 	}
 
@@ -258,7 +270,7 @@ func (m *Model) auxLoss(g *autodiff.Graph, tod, vol *autodiff.Node, aux *AuxData
 			rows[r] = autodiff.Row(vol, j)
 		}
 		pred := autodiff.Scale(autodiff.StackRows(rows), 1/m.Cfg.VolumeNorm)
-		obs := tensor.Scale(aux.CameraVolume, 1/m.Cfg.VolumeNorm)
+		obs := tensor.ScaleTo(g.AllocLike(aux.CameraVolume), aux.CameraVolume, 1/m.Cfg.VolumeNorm)
 		total = autodiff.Add(total, autodiff.Scale(autodiff.MSE(pred, obs), aux.CameraWeight))
 	}
 
@@ -269,7 +281,7 @@ func (m *Model) auxLoss(g *autodiff.Graph, tod, vol *autodiff.Node, aux *AuxData
 			rows[r] = autodiff.Row(tod, i)
 		}
 		pred := autodiff.Scale(autodiff.StackRows(rows), 1/m.Cfg.MaxTrips)
-		obs := tensor.Scale(aux.TrajG, 1/m.Cfg.MaxTrips)
+		obs := tensor.ScaleTo(g.AllocLike(aux.TrajG), aux.TrajG, 1/m.Cfg.MaxTrips)
 		total = autodiff.Add(total, autodiff.Scale(autodiff.MSE(pred, obs), aux.TrajWeight))
 	}
 	return total
@@ -282,6 +294,7 @@ func (m *Model) auxLoss(g *autodiff.Graph, tod, vol *autodiff.Node, aux *AuxData
 // restart whose actual speed match is worse.
 func (m *Model) speedScore(gen TODGenModule, speedObs *tensor.Tensor, aux *AuxData) float64 {
 	g := autodiff.NewGraph()
+	defer g.Release()
 	tod := gen.Generate(g)
 	vol := m.T2V.MapVolume(g, tod, false)
 	speed := m.V2S.MapSpeed(g, vol, false)

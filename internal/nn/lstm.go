@@ -43,8 +43,8 @@ func (l *LSTM) Hidden() int { return l.hidden }
 func (l *LSTM) Forward(x *autodiff.Node, _ bool) *autodiff.Node {
 	g := x.Graph()
 	t := x.Value.Dim(0)
-	h := g.Const(tensor.New(1, l.hidden))
-	c := g.Const(tensor.New(1, l.hidden))
+	h := g.Const(g.Alloc(1, l.hidden))
+	c := g.Const(g.Alloc(1, l.hidden))
 	wx, wh, b := g.Param(l.Wx), g.Param(l.Wh), g.Param(l.B)
 
 	outs := make([]*autodiff.Node, t)

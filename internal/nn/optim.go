@@ -24,9 +24,14 @@ func ZeroGrads(params []*autodiff.Parameter) {
 // ClipGrads scales gradients so their global L2 norm does not exceed max.
 // It returns the pre-clip norm. Gradient clipping keeps the test-time
 // TOD-generator fitting stable when the speed loss surface is steep.
+// Frozen parameters take no part: they receive no gradient, contribute
+// nothing to the norm, and are never scaled.
 func ClipGrads(params []*autodiff.Parameter, max float64) float64 {
 	total := 0.0
 	for _, p := range params {
+		if p.Frozen() {
+			continue
+		}
 		for _, g := range p.Grad.Data {
 			total += g * g
 		}
@@ -35,6 +40,9 @@ func ClipGrads(params []*autodiff.Parameter, max float64) float64 {
 	if norm > max && norm > 0 {
 		s := max / norm
 		for _, p := range params {
+			if p.Frozen() {
+				continue
+			}
 			for i := range p.Grad.Data {
 				p.Grad.Data[i] *= s
 			}
@@ -43,76 +51,131 @@ func ClipGrads(params []*autodiff.Parameter, max float64) float64 {
 	return norm
 }
 
-// SGD is plain stochastic gradient descent with optional momentum.
+// sameParams reports whether the cached slot list still matches the
+// parameter list passed to Step, pointer for pointer.
+func sameParams(cached, params []*autodiff.Parameter) bool {
+	if len(cached) != len(params) {
+		return false
+	}
+	for i := range cached {
+		if cached[i] != params[i] {
+			return false
+		}
+	}
+	return true
+}
+
+// SGD is plain stochastic gradient descent with optional momentum. Optimizer
+// state lives in slices parallel to the parameter list (slot indexing,
+// resolved once on the first Step), not in per-parameter maps, so the
+// per-step cost is a plain slice walk. Frozen parameters are skipped.
 type SGD struct {
 	LR       float64
 	Momentum float64
-	velocity map[*autodiff.Parameter]*tensor.Tensor
+
+	params   []*autodiff.Parameter
+	velocity []*tensor.Tensor
 }
 
 // NewSGD constructs an SGD optimizer.
 func NewSGD(lr, momentum float64) *SGD {
-	return &SGD{LR: lr, Momentum: momentum, velocity: make(map[*autodiff.Parameter]*tensor.Tensor)}
+	return &SGD{LR: lr, Momentum: momentum}
 }
 
-// Step applies one SGD update.
-func (s *SGD) Step(params []*autodiff.Parameter) {
-	for _, p := range params {
-		if s.Momentum == 0 {
-			tensor.AxpyInPlace(p.Value, -s.LR, p.Grad)
-			continue
-		}
-		v, ok := s.velocity[p]
-		if !ok {
-			v = tensor.New(p.Value.Shape()...)
-			s.velocity[p] = v
-		}
-		for i := range v.Data {
-			v.Data[i] = s.Momentum*v.Data[i] - s.LR*p.Grad.Data[i]
-			p.Value.Data[i] += v.Data[i]
+// rebind aligns the velocity slots with a new parameter list, carrying over
+// the state of parameters present in the old list.
+func (s *SGD) rebind(params []*autodiff.Parameter) {
+	old := make(map[*autodiff.Parameter]*tensor.Tensor, len(s.params))
+	for i, p := range s.params {
+		old[p] = s.velocity[i]
+	}
+	s.params = append([]*autodiff.Parameter(nil), params...)
+	s.velocity = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		if v, ok := old[p]; ok {
+			s.velocity[i] = v
 		}
 	}
 }
 
+// Step applies one SGD update. Frozen parameters are left untouched (their
+// velocity, if any, is preserved but not applied or decayed).
+func (s *SGD) Step(params []*autodiff.Parameter) {
+	if !sameParams(s.params, params) {
+		s.rebind(params)
+	}
+	for i, p := range params {
+		if p.Frozen() {
+			continue
+		}
+		if s.Momentum == 0 {
+			tensor.AxpyInPlace(p.Value, -s.LR, p.Grad)
+			continue
+		}
+		v := s.velocity[i]
+		if v == nil {
+			v = tensor.New(p.Value.Shape()...)
+			s.velocity[i] = v
+		}
+		tensor.SGDMomentumStepInPlace(p.Value, p.Grad, v, s.LR, s.Momentum)
+	}
+}
+
 // Adam implements the Adam optimizer (Kingma & Ba). The paper trains with
-// learning rate 0.001 (Table V), Adam's default.
+// learning rate 0.001 (Table V), Adam's default. Moment state lives in slot
+// slices parallel to the parameter list (see SGD); the per-element update is
+// the fused tensor.AdamStepInPlace kernel. Frozen parameters are skipped
+// entirely: no update, no moment decay.
 type Adam struct {
 	LR, Beta1, Beta2, Eps float64
 
-	step int
-	m    map[*autodiff.Parameter]*tensor.Tensor
-	v    map[*autodiff.Parameter]*tensor.Tensor
+	step   int
+	params []*autodiff.Parameter
+	m, v   []*tensor.Tensor
 }
 
 // NewAdam constructs an Adam optimizer with standard betas.
 func NewAdam(lr float64) *Adam {
-	return &Adam{
-		LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
-		m: make(map[*autodiff.Parameter]*tensor.Tensor),
-		v: make(map[*autodiff.Parameter]*tensor.Tensor),
+	return &Adam{LR: lr, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8}
+}
+
+// rebind aligns the moment slots with a new parameter list, carrying over
+// the state of parameters present in the old list.
+func (a *Adam) rebind(params []*autodiff.Parameter) {
+	type moments struct{ m, v *tensor.Tensor }
+	old := make(map[*autodiff.Parameter]moments, len(a.params))
+	for i, p := range a.params {
+		old[p] = moments{a.m[i], a.v[i]}
+	}
+	a.params = append([]*autodiff.Parameter(nil), params...)
+	a.m = make([]*tensor.Tensor, len(params))
+	a.v = make([]*tensor.Tensor, len(params))
+	for i, p := range params {
+		if st, ok := old[p]; ok {
+			a.m[i] = st.m
+			a.v[i] = st.v
+		}
 	}
 }
 
 // Step applies one Adam update.
 func (a *Adam) Step(params []*autodiff.Parameter) {
+	if !sameParams(a.params, params) {
+		a.rebind(params)
+	}
 	a.step++
 	bc1 := 1 - math.Pow(a.Beta1, float64(a.step))
 	bc2 := 1 - math.Pow(a.Beta2, float64(a.step))
-	for _, p := range params {
-		m, ok := a.m[p]
-		if !ok {
+	for i, p := range params {
+		if p.Frozen() {
+			continue
+		}
+		m := a.m[i]
+		if m == nil {
 			m = tensor.New(p.Value.Shape()...)
-			a.m[p] = m
-			a.v[p] = tensor.New(p.Value.Shape()...)
+			a.m[i] = m
+			a.v[i] = tensor.New(p.Value.Shape()...)
 		}
-		v := a.v[p]
-		for i := range p.Value.Data {
-			g := p.Grad.Data[i]
-			m.Data[i] = a.Beta1*m.Data[i] + (1-a.Beta1)*g
-			v.Data[i] = a.Beta2*v.Data[i] + (1-a.Beta2)*g*g
-			mHat := m.Data[i] / bc1
-			vHat := v.Data[i] / bc2
-			p.Value.Data[i] -= a.LR * mHat / (math.Sqrt(vHat) + a.Eps)
-		}
+		tensor.AdamStepInPlace(p.Value, p.Grad, m, a.v[i], a.LR, a.Beta1, a.Beta2, a.Eps, bc1, bc2)
 	}
 }

@@ -181,32 +181,41 @@ func (s *Simulator) runMeso(d Demand) (*Result, error) {
 
 		// 5. Record occupancy and speed observations (row j of each
 		// accumulator belongs to link j alone, so links partition cleanly).
+		// Indexing is fused: one flat offset per link instead of three
+		// bounds-checked multi-index lookups.
 		parallel.ForWorkers(cfg.Workers, m, linkGrain, func(lo, hi int) {
 			for j := lo; j < hi; j++ {
 				occ := float64(len(occupants[j]))
-				res.Volume.Add2(occ, j, interval)
+				cell := j*cfg.Intervals + interval
+				res.Volume.Data[cell] += occ
 				if occ > 0 {
-					speedSum.Add2(curSpeed[j]*occ, j, interval)
-					weightSum.Add2(occ, j, interval)
+					speedSum.Data[cell] += curSpeed[j] * occ
+					weightSum.Data[cell] += occ
 				}
 			}
 		})
 	}
 
-	// Occupancy: mean vehicles present per step within each interval.
-	res.Volume = tensor.Scale(res.Volume, 1/float64(stepsPerInterval))
+	// Occupancy: mean vehicles present per step within each interval
+	// (scaled in place — the accumulator tensor is reused as the result).
+	tensor.ScaleInPlace(res.Volume, 1/float64(stepsPerInterval))
 
 	// Finalize speeds: occupancy-weighted mean, free-flow when unobserved.
-	for j := 0; j < m; j++ {
-		for t := 0; t < cfg.Intervals; t++ {
-			w := weightSum.At(j, t)
-			if w > 0 {
-				res.Speed.Set(speedSum.At(j, t)/w, j, t)
-			} else {
-				res.Speed.Set(freeSpeed[j], j, t)
+	// One fused per-link pass, partitioned like the per-step phases.
+	parallel.ForWorkers(cfg.Workers, m, linkGrain, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			row := res.Speed.Data[j*cfg.Intervals : (j+1)*cfg.Intervals]
+			wRow := weightSum.Data[j*cfg.Intervals : (j+1)*cfg.Intervals]
+			sRow := speedSum.Data[j*cfg.Intervals : (j+1)*cfg.Intervals]
+			for t := range row {
+				if wRow[t] > 0 {
+					row[t] = sRow[t] / wRow[t]
+				} else {
+					row[t] = freeSpeed[j]
+				}
 			}
 		}
-	}
+	})
 	res.Spawned = len(vehicles)
 	return res, nil
 }

@@ -1,0 +1,441 @@
+package tensor
+
+import (
+	"fmt"
+	"math"
+
+	"ovs/internal/parallel"
+)
+
+// This file holds the fused and destination-passing kernels of the
+// zero-allocation training path. The *To kernels write into a caller-provided
+// output (typically an arena tensor), the *Acc kernels accumulate a backward
+// rule directly into a gradient without materializing intermediates, and the
+// *InPlace kernels fuse optimizer updates. Every kernel partitions work over
+// output indices with the per-index computation fixed, so results are
+// bitwise-identical at any worker count (see ops.go).
+//
+// Each kernel checks its size against the parallel grain before constructing
+// the parallel.For closure: a closure passed to another function escapes to
+// the heap, so small inputs — the common case in the training hot loop — take
+// a branch to an explicit serial loop instead and allocate nothing.
+
+// AddTo computes dst = a + b elementwise and returns dst. dst may alias a or
+// b. Shapes must match.
+func AddTo(dst, a, b *Tensor) *Tensor {
+	assertSameShape("AddTo", a, b)
+	assertSameShape("AddTo", dst, a)
+	if n := len(dst.Data); n <= parMinWork {
+		addToRange(dst, a, b, 0, n)
+	} else {
+		parallel.For(n, parMinWork, func(lo, hi int) { addToRange(dst, a, b, lo, hi) })
+	}
+	return dst
+}
+
+func addToRange(dst, a, b *Tensor, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst.Data[i] = a.Data[i] + b.Data[i]
+	}
+}
+
+// SubTo computes dst = a - b elementwise and returns dst. dst may alias a or
+// b. Shapes must match.
+func SubTo(dst, a, b *Tensor) *Tensor {
+	assertSameShape("SubTo", a, b)
+	assertSameShape("SubTo", dst, a)
+	if n := len(dst.Data); n <= parMinWork {
+		subToRange(dst, a, b, 0, n)
+	} else {
+		parallel.For(n, parMinWork, func(lo, hi int) { subToRange(dst, a, b, lo, hi) })
+	}
+	return dst
+}
+
+func subToRange(dst, a, b *Tensor, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst.Data[i] = a.Data[i] - b.Data[i]
+	}
+}
+
+// MulTo computes the elementwise product dst = a * b and returns dst. dst may
+// alias a or b. Shapes must match.
+func MulTo(dst, a, b *Tensor) *Tensor {
+	assertSameShape("MulTo", a, b)
+	assertSameShape("MulTo", dst, a)
+	if n := len(dst.Data); n <= parMinWork {
+		mulToRange(dst, a, b, 0, n)
+	} else {
+		parallel.For(n, parMinWork, func(lo, hi int) { mulToRange(dst, a, b, lo, hi) })
+	}
+	return dst
+}
+
+func mulToRange(dst, a, b *Tensor, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst.Data[i] = a.Data[i] * b.Data[i]
+	}
+}
+
+// ScaleTo computes dst = a * s elementwise and returns dst. dst may alias a.
+func ScaleTo(dst, a *Tensor, s float64) *Tensor {
+	assertSameShape("ScaleTo", dst, a)
+	if n := len(dst.Data); n <= parMinWork {
+		scaleToRange(dst, a, s, 0, n)
+	} else {
+		parallel.For(n, parMinWork, func(lo, hi int) { scaleToRange(dst, a, s, lo, hi) })
+	}
+	return dst
+}
+
+func scaleToRange(dst, a *Tensor, s float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst.Data[i] = a.Data[i] * s
+	}
+}
+
+// AddScalarTo computes dst = a + s elementwise and returns dst. dst may
+// alias a.
+func AddScalarTo(dst, a *Tensor, s float64) *Tensor {
+	assertSameShape("AddScalarTo", dst, a)
+	if n := len(dst.Data); n <= parMinWork {
+		addScalarToRange(dst, a, s, 0, n)
+	} else {
+		parallel.For(n, parMinWork, func(lo, hi int) { addScalarToRange(dst, a, s, lo, hi) })
+	}
+	return dst
+}
+
+func addScalarToRange(dst, a *Tensor, s float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst.Data[i] = a.Data[i] + s
+	}
+}
+
+// AxpyTo computes the fused add-scale dst = a + alpha*b and returns dst. dst
+// may alias a or b. Shapes must match.
+func AxpyTo(dst, a *Tensor, alpha float64, b *Tensor) *Tensor {
+	assertSameShape("AxpyTo", a, b)
+	assertSameShape("AxpyTo", dst, a)
+	if n := len(dst.Data); n <= parMinWork {
+		axpyToRange(dst, a, alpha, b, 0, n)
+	} else {
+		parallel.For(n, parMinWork, func(lo, hi int) { axpyToRange(dst, a, alpha, b, lo, hi) })
+	}
+	return dst
+}
+
+func axpyToRange(dst, a *Tensor, alpha float64, b *Tensor, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		dst.Data[i] = a.Data[i] + alpha*b.Data[i]
+	}
+}
+
+// ScaleInPlace multiplies every element of t by s and returns t.
+func ScaleInPlace(t *Tensor, s float64) *Tensor { return ScaleTo(t, t, s) }
+
+// MatMulTo computes the matrix product dst = a · b for rank-2 operands
+// (m×k)·(k×n)→(m×n) and returns dst. dst must not alias a or b; its prior
+// contents are overwritten.
+func MatMulTo(dst, a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTo requires rank-2 operands, got %v x %v", a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	k2, n := b.shape[0], b.shape[1]
+	if k != k2 {
+		panic(fmt.Sprintf("tensor: MatMulTo inner dimensions differ: %v x %v", a.shape, b.shape))
+	}
+	if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTo output shape %v, want [%d %d]", dst.shape, m, n))
+	}
+	if grain := elemGrain(k * n); m <= grain {
+		matMulToRange(dst, a, b, k, n, 0, m)
+	} else {
+		parallel.For(m, grain, func(lo, hi int) { matMulToRange(dst, a, b, k, n, lo, hi) })
+	}
+	return dst
+}
+
+func matMulToRange(dst, a, b *Tensor, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		orow := dst.Data[i*n : (i+1)*n]
+		for j := range orow {
+			orow[j] = 0
+		}
+		for kk := 0; kk < k; kk++ {
+			av := arow[kk]
+			if av == 0 {
+				continue
+			}
+			brow := b.Data[kk*n : (kk+1)*n]
+			for j := 0; j < n; j++ {
+				orow[j] += av * brow[j]
+			}
+		}
+	}
+}
+
+// MatMulNTAcc accumulates dst += a · bᵀ where a is (m×k), b is (n×k), and dst
+// is (m×n). It fuses the dL/dA = dL/dOut · Bᵀ backward rule of MatMul,
+// avoiding the transpose and product temporaries.
+func MatMulNTAcc(dst, a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulNTAcc requires rank-2 operands, got %v += %v x %vᵀ", dst.shape, a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	n, k2 := b.shape[0], b.shape[1]
+	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulNTAcc shape mismatch %v += %v x %vᵀ", dst.shape, a.shape, b.shape))
+	}
+	if grain := elemGrain(k * n); m <= grain {
+		matMulNTAccRange(dst, a, b, k, n, 0, m)
+	} else {
+		parallel.For(m, grain, func(lo, hi int) { matMulNTAccRange(dst, a, b, k, n, lo, hi) })
+	}
+	return dst
+}
+
+func matMulNTAccRange(dst, a, b *Tensor, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		arow := a.Data[i*k : (i+1)*k]
+		drow := dst.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			brow := b.Data[j*k : (j+1)*k]
+			s := 0.0
+			for kk := 0; kk < k; kk++ {
+				s += arow[kk] * brow[kk]
+			}
+			drow[j] += s
+		}
+	}
+}
+
+// MatMulTNAcc accumulates dst += aᵀ · b where a is (m×k), b is (m×n), and dst
+// is (k×n). It fuses the dL/dB = Aᵀ · dL/dOut backward rule of MatMul.
+func MatMulTNAcc(dst, a, b *Tensor) *Tensor {
+	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
+		panic(fmt.Sprintf("tensor: MatMulTNAcc requires rank-2 operands, got %v += %vᵀ x %v", dst.shape, a.shape, b.shape))
+	}
+	m, k := a.shape[0], a.shape[1]
+	m2, n := b.shape[0], b.shape[1]
+	if m != m2 || dst.shape[0] != k || dst.shape[1] != n {
+		panic(fmt.Sprintf("tensor: MatMulTNAcc shape mismatch %v += %vᵀ x %v", dst.shape, a.shape, b.shape))
+	}
+	if grain := elemGrain(m * n); k <= grain {
+		matMulTNAccRange(dst, a, b, m, k, n, 0, k)
+	} else {
+		parallel.For(k, grain, func(lo, hi int) { matMulTNAccRange(dst, a, b, m, k, n, lo, hi) })
+	}
+	return dst
+}
+
+func matMulTNAccRange(dst, a, b *Tensor, m, k, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		drow := dst.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			s := 0.0
+			for r := 0; r < m; r++ {
+				s += a.Data[r*k+i] * b.Data[r*n+j]
+			}
+			drow[j] += s
+		}
+	}
+}
+
+// TransposeTo computes dst = aᵀ for a rank-2 tensor and returns dst. dst must
+// not alias a.
+func TransposeTo(dst, a *Tensor) *Tensor {
+	if a.Rank() != 2 || dst.Rank() != 2 || dst.shape[0] != a.shape[1] || dst.shape[1] != a.shape[0] {
+		panic(fmt.Sprintf("tensor: TransposeTo shape mismatch %v = %vᵀ", dst.shape, a.shape))
+	}
+	m, n := a.shape[0], a.shape[1]
+	if grain := elemGrain(n); m <= grain {
+		transposeToRange(dst, a, m, n, 0, m)
+	} else {
+		parallel.For(m, grain, func(lo, hi int) { transposeToRange(dst, a, m, n, lo, hi) })
+	}
+	return dst
+}
+
+func transposeToRange(dst, a *Tensor, m, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		for j := 0; j < n; j++ {
+			dst.Data[j*m+i] = a.Data[i*n+j]
+		}
+	}
+}
+
+// TransposeAcc accumulates dst += aᵀ for rank-2 tensors. It fuses the
+// Transpose backward rule. dst must not alias a.
+func TransposeAcc(dst, a *Tensor) *Tensor {
+	if a.Rank() != 2 || dst.Rank() != 2 || dst.shape[0] != a.shape[1] || dst.shape[1] != a.shape[0] {
+		panic(fmt.Sprintf("tensor: TransposeAcc shape mismatch %v += %vᵀ", dst.shape, a.shape))
+	}
+	m, n := dst.shape[0], dst.shape[1]
+	if grain := elemGrain(n); m <= grain {
+		transposeAccRange(dst, a, m, n, 0, m)
+	} else {
+		parallel.For(m, grain, func(lo, hi int) { transposeAccRange(dst, a, m, n, lo, hi) })
+	}
+	return dst
+}
+
+func transposeAccRange(dst, a *Tensor, m, n, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		drow := dst.Data[i*n : (i+1)*n]
+		for j := 0; j < n; j++ {
+			drow[j] += a.Data[j*m+i]
+		}
+	}
+}
+
+// AddRowVectorTo computes dst = a + v broadcast over rows, where a and dst
+// are (m×n) and v is (n). dst may alias a.
+func AddRowVectorTo(dst, a, v *Tensor) *Tensor {
+	if a.Rank() != 2 || v.Rank() != 1 || a.shape[1] != v.shape[0] {
+		panic(fmt.Sprintf("tensor: AddRowVectorTo shape mismatch %v + %v", a.shape, v.shape))
+	}
+	assertSameShape("AddRowVectorTo", dst, a)
+	m, n := a.shape[0], a.shape[1]
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			dst.Data[i*n+j] = a.Data[i*n+j] + v.Data[j]
+		}
+	}
+	return dst
+}
+
+// SigmoidTo computes dst = 1/(1+e^-a) elementwise and returns dst. dst may
+// alias a.
+func SigmoidTo(dst, a *Tensor) *Tensor {
+	assertSameShape("SigmoidTo", dst, a)
+	for i, x := range a.Data {
+		dst.Data[i] = 1 / (1 + math.Exp(-x))
+	}
+	return dst
+}
+
+// SigmoidBackwardAcc accumulates dst += grad * val * (1-val), the fused
+// sigmoid backward rule, where val holds the forward sigmoid outputs.
+func SigmoidBackwardAcc(dst, grad, val *Tensor) *Tensor {
+	assertSameShape("SigmoidBackwardAcc", grad, val)
+	assertSameShape("SigmoidBackwardAcc", dst, grad)
+	for i := range dst.Data {
+		s := val.Data[i]
+		dst.Data[i] += grad.Data[i] * s * (1 - s)
+	}
+	return dst
+}
+
+// TanhTo computes dst = tanh(a) elementwise and returns dst. dst may alias a.
+func TanhTo(dst, a *Tensor) *Tensor {
+	assertSameShape("TanhTo", dst, a)
+	for i, x := range a.Data {
+		dst.Data[i] = math.Tanh(x)
+	}
+	return dst
+}
+
+// TanhBackwardAcc accumulates dst += grad * (1 - val²), the fused tanh
+// backward rule, where val holds the forward tanh outputs.
+func TanhBackwardAcc(dst, grad, val *Tensor) *Tensor {
+	assertSameShape("TanhBackwardAcc", grad, val)
+	assertSameShape("TanhBackwardAcc", dst, grad)
+	for i := range dst.Data {
+		th := val.Data[i]
+		dst.Data[i] += grad.Data[i] * (1 - th*th)
+	}
+	return dst
+}
+
+// ReLUTo computes dst = max(0, a) elementwise and returns dst. dst may
+// alias a.
+func ReLUTo(dst, a *Tensor) *Tensor {
+	assertSameShape("ReLUTo", dst, a)
+	for i, x := range a.Data {
+		if x > 0 {
+			dst.Data[i] = x
+		} else {
+			dst.Data[i] = 0
+		}
+	}
+	return dst
+}
+
+// SqrtTo computes dst = √a elementwise and returns dst. dst may alias a.
+func SqrtTo(dst, a *Tensor) *Tensor {
+	assertSameShape("SqrtTo", dst, a)
+	for i, x := range a.Data {
+		dst.Data[i] = math.Sqrt(x)
+	}
+	return dst
+}
+
+// SoftplusTo computes dst = log(1+e^a) elementwise (with the same overflow
+// guard as the autodiff op) and returns dst. dst may alias a.
+func SoftplusTo(dst, a *Tensor) *Tensor {
+	assertSameShape("SoftplusTo", dst, a)
+	for i, x := range a.Data {
+		if x > 30 {
+			dst.Data[i] = x // avoids overflow; log(1+e^x) ≈ x
+		} else {
+			dst.Data[i] = math.Log1p(math.Exp(x))
+		}
+	}
+	return dst
+}
+
+// AdamStepInPlace applies one fused Adam update to value from grad, using m
+// and v as the persistent first/second moment buffers. bc1 and bc2 are the
+// bias-correction terms 1-β₁ᵗ and 1-β₂ᵗ for the current step t. The update
+// order per element matches the reference loop exactly, so results are
+// bitwise-identical to the unfused optimizer.
+func AdamStepInPlace(value, grad, m, v *Tensor, lr, beta1, beta2, eps, bc1, bc2 float64) {
+	assertSameShape("AdamStepInPlace", value, grad)
+	assertSameShape("AdamStepInPlace", value, m)
+	assertSameShape("AdamStepInPlace", value, v)
+	n := len(value.Data)
+	if grain := elemGrain(8); n <= grain {
+		adamStepRange(value, grad, m, v, lr, beta1, beta2, eps, bc1, bc2, 0, n)
+	} else {
+		parallel.For(n, grain, func(lo, hi int) {
+			adamStepRange(value, grad, m, v, lr, beta1, beta2, eps, bc1, bc2, lo, hi)
+		})
+	}
+}
+
+func adamStepRange(value, grad, m, v *Tensor, lr, beta1, beta2, eps, bc1, bc2 float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		g := grad.Data[i]
+		m.Data[i] = beta1*m.Data[i] + (1-beta1)*g
+		v.Data[i] = beta2*v.Data[i] + (1-beta2)*g*g
+		mHat := m.Data[i] / bc1
+		vHat := v.Data[i] / bc2
+		value.Data[i] -= lr * mHat / (math.Sqrt(vHat) + eps)
+	}
+}
+
+// SGDMomentumStepInPlace applies one fused momentum-SGD update to value from
+// grad, using vel as the persistent velocity buffer:
+// vel = momentum*vel - lr*grad; value += vel.
+func SGDMomentumStepInPlace(value, grad, vel *Tensor, lr, momentum float64) {
+	assertSameShape("SGDMomentumStepInPlace", value, grad)
+	assertSameShape("SGDMomentumStepInPlace", value, vel)
+	n := len(value.Data)
+	if grain := elemGrain(4); n <= grain {
+		sgdMomentumStepRange(value, grad, vel, lr, momentum, 0, n)
+	} else {
+		parallel.For(n, grain, func(lo, hi int) {
+			sgdMomentumStepRange(value, grad, vel, lr, momentum, lo, hi)
+		})
+	}
+}
+
+func sgdMomentumStepRange(value, grad, vel *Tensor, lr, momentum float64, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		vel.Data[i] = momentum*vel.Data[i] - lr*grad.Data[i]
+		value.Data[i] += vel.Data[i]
+	}
+}

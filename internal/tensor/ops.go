@@ -31,70 +31,60 @@ func elemGrain(perIndex int) int {
 // Add returns a + b elementwise. Shapes must match.
 func Add(a, b *Tensor) *Tensor {
 	assertSameShape("Add", a, b)
-	out := New(a.shape...)
-	parallel.For(len(a.Data), parMinWork, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out.Data[i] = a.Data[i] + b.Data[i]
-		}
-	})
-	return out
+	return AddTo(New(a.shape...), a, b)
 }
 
 // Sub returns a - b elementwise. Shapes must match.
 func Sub(a, b *Tensor) *Tensor {
 	assertSameShape("Sub", a, b)
-	out := New(a.shape...)
-	parallel.For(len(a.Data), parMinWork, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out.Data[i] = a.Data[i] - b.Data[i]
-		}
-	})
-	return out
+	return SubTo(New(a.shape...), a, b)
 }
 
 // Mul returns the elementwise (Hadamard) product a * b. Shapes must match.
 func Mul(a, b *Tensor) *Tensor {
 	assertSameShape("Mul", a, b)
-	out := New(a.shape...)
-	parallel.For(len(a.Data), parMinWork, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out.Data[i] = a.Data[i] * b.Data[i]
-		}
-	})
-	return out
+	return MulTo(New(a.shape...), a, b)
 }
 
 // Scale returns a * s elementwise.
 func Scale(a *Tensor, s float64) *Tensor {
-	out := New(a.shape...)
-	parallel.For(len(a.Data), parMinWork, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			out.Data[i] = a.Data[i] * s
-		}
-	})
-	return out
+	return ScaleTo(New(a.shape...), a, s)
 }
 
-// AddInPlace accumulates b into a (a += b) and returns a.
+// AddInPlace accumulates b into a (a += b) and returns a. Like the fused
+// kernels, it branches to a plain serial loop below the parallel grain so
+// small tensors never construct the parallel.For closure.
 func AddInPlace(a, b *Tensor) *Tensor {
 	assertSameShape("AddInPlace", a, b)
-	parallel.For(len(a.Data), parMinWork, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			a.Data[i] += b.Data[i]
-		}
-	})
+	if n := len(a.Data); n <= parMinWork {
+		addInPlaceRange(a, b, 0, n)
+	} else {
+		parallel.For(n, parMinWork, func(lo, hi int) { addInPlaceRange(a, b, lo, hi) })
+	}
 	return a
+}
+
+func addInPlaceRange(a, b *Tensor, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		a.Data[i] += b.Data[i]
+	}
 }
 
 // AxpyInPlace computes a += alpha*b and returns a.
 func AxpyInPlace(a *Tensor, alpha float64, b *Tensor) *Tensor {
 	assertSameShape("AxpyInPlace", a, b)
-	parallel.For(len(a.Data), parMinWork, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			a.Data[i] += alpha * b.Data[i]
-		}
-	})
+	if n := len(a.Data); n <= parMinWork {
+		axpyInPlaceRange(a, alpha, b, 0, n)
+	} else {
+		parallel.For(n, parMinWork, func(lo, hi int) { axpyInPlaceRange(a, alpha, b, lo, hi) })
+	}
 	return a
+}
+
+func axpyInPlaceRange(a *Tensor, alpha float64, b *Tensor, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		a.Data[i] += alpha * b.Data[i]
+	}
 }
 
 // MatMul returns the matrix product of two rank-2 tensors: (m×k)·(k×n)→(m×n).
@@ -107,27 +97,9 @@ func MatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v x %v", a.shape, b.shape))
 	}
-	out := New(m, n)
-	// Partitioned over output rows: each row's ikj accumulation order is
-	// unchanged, so the parallel product is bitwise-identical to serial.
-	parallel.For(m, elemGrain(k*n), func(lo, hi int) {
-		// ikj loop order keeps the inner loop streaming over contiguous rows of b.
-		for i := lo; i < hi; i++ {
-			arow := a.Data[i*k : (i+1)*k]
-			orow := out.Data[i*n : (i+1)*n]
-			for kk := 0; kk < k; kk++ {
-				av := arow[kk]
-				if av == 0 {
-					continue
-				}
-				brow := b.Data[kk*n : (kk+1)*n]
-				for j := 0; j < n; j++ {
-					orow[j] += av * brow[j]
-				}
-			}
-		}
-	})
-	return out
+	// MatMulTo partitions over output rows with each row's ikj accumulation
+	// order unchanged, so the parallel product is bitwise-identical to serial.
+	return MatMulTo(New(m, n), a, b)
 }
 
 // MatVec returns the matrix-vector product of a (m×k) and v (k) as a rank-1
@@ -141,17 +113,23 @@ func MatVec(a, v *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: MatVec dimensions differ: %v x %v", a.shape, v.shape))
 	}
 	out := New(m)
-	parallel.For(m, elemGrain(k), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			row := a.Data[i*k : (i+1)*k]
-			s := 0.0
-			for j, rv := range row {
-				s += rv * v.Data[j]
-			}
-			out.Data[i] = s
-		}
-	})
+	if grain := elemGrain(k); m <= grain {
+		matVecRange(out, a, v, k, 0, m)
+	} else {
+		parallel.For(m, grain, func(lo, hi int) { matVecRange(out, a, v, k, lo, hi) })
+	}
 	return out
+}
+
+func matVecRange(out, a, v *Tensor, k, lo, hi int) {
+	for i := lo; i < hi; i++ {
+		row := a.Data[i*k : (i+1)*k]
+		s := 0.0
+		for j, rv := range row {
+			s += rv * v.Data[j]
+		}
+		out.Data[i] = s
+	}
 }
 
 // Transpose returns the transpose of a rank-2 tensor.
@@ -160,17 +138,9 @@ func Transpose(a *Tensor) *Tensor {
 		panic(fmt.Sprintf("tensor: Transpose requires rank-2, got %v", a.shape))
 	}
 	m, n := a.shape[0], a.shape[1]
-	out := New(n, m)
-	// Partitioned over input rows: row i fills column i of the output, so
-	// chunks write disjoint cells.
-	parallel.For(m, elemGrain(n), func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			for j := 0; j < n; j++ {
-				out.Data[j*m+i] = a.Data[i*n+j]
-			}
-		}
-	})
-	return out
+	// TransposeTo partitions over input rows: row i fills column i of the
+	// output, so chunks write disjoint cells.
+	return TransposeTo(New(n, m), a)
 }
 
 // AddRowVector adds vector v (length n) to every row of a (m×n).
