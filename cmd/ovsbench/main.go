@@ -66,7 +66,9 @@ func run(bench, benchtime, pkg, outPath string) error {
 	if err := cmd.Run(); err != nil {
 		return fmt.Errorf("go test -bench failed: %w", err)
 	}
-	os.Stdout.Write(out.Bytes())
+	if _, err := os.Stdout.Write(out.Bytes()); err != nil {
+		return err
+	}
 
 	results, err := parseBenchOutput(out.Bytes())
 	if err != nil {
@@ -120,10 +122,13 @@ func parseBenchOutput(raw []byte) ([]Result, error) {
 			val := fields[i]
 			switch fields[i+1] {
 			case "ns/op":
+				//ovslint:ignore ignorederr unparseable benchmark columns intentionally stay zero (see doc comment)
 				r.NsPerOp, _ = strconv.ParseFloat(val, 64)
 			case "B/op":
+				//ovslint:ignore ignorederr unparseable benchmark columns intentionally stay zero (see doc comment)
 				r.BytesPerOp, _ = strconv.ParseInt(val, 10, 64)
 			case "allocs/op":
+				//ovslint:ignore ignorederr unparseable benchmark columns intentionally stay zero (see doc comment)
 				r.AllocsPerOp, _ = strconv.ParseInt(val, 10, 64)
 			}
 		}

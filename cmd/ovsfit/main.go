@@ -8,9 +8,12 @@
 //	ovsfit -city Hangzhou -train -model hangzhou.ovs
 //	ovsfit -city Hangzhou -model hangzhou.ovs -fit observed_speed.json -o recovered_tod.json
 //
-// The observation file holds a (links × intervals) speed matrix:
+// The observation file holds a (links × intervals) speed matrix — JSON
 //
 //	{"speed": [[13.9, 12.1, ...], ...]}
+//
+// or, when the path ends in .csv, the trafficio CSV form (optional t0,t1,...
+// header, one row per link)
 //
 // Without -fit, a demonstration observation is synthesized from the city's
 // ground-truth generator and the recovery is scored against it.
@@ -20,17 +23,19 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
-	"runtime"
-	"runtime/pprof"
+	"strings"
 	"time"
 
+	"ovs/internal/cliutil"
 	"ovs/internal/dataset"
 	"ovs/internal/experiment"
 	"ovs/internal/metrics"
 	"ovs/internal/sim"
 	"ovs/internal/tensor"
+	"ovs/internal/trafficio"
 )
 
 type speedFile struct {
@@ -45,7 +50,7 @@ func main() {
 	cityName := flag.String("city", "Hangzhou", "city preset: Hangzhou|Porto|Manhattan|StateCollege")
 	train := flag.Bool("train", false, "train the mappings and save the model")
 	modelPath := flag.String("model", "model.ovs", "model parameter file")
-	fitPath := flag.String("fit", "", "observed speed JSON to invert (omit for a self-test demo)")
+	fitPath := flag.String("fit", "", "observed speed JSON or CSV to invert (omit for a self-test demo)")
 	outPath := flag.String("o", "", "write the recovered TOD JSON here")
 	scaleName := flag.String("scale", "test", "effort: test|quick|full")
 	seed := flag.Int64("seed", 1, "seed")
@@ -53,7 +58,7 @@ func main() {
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
 
-	stopProfiles, err := startProfiles(*cpuProfile, *memProfile)
+	stopProfiles, err := cliutil.StartProfiles(*cpuProfile, *memProfile)
 	if err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
@@ -67,45 +72,44 @@ func main() {
 	stopProfiles()
 }
 
-// startProfiles begins CPU profiling and arranges for a heap profile, per the
-// given paths (either may be empty). The returned stop function is idempotent
-// so error paths can flush profiles before os.Exit.
-func startProfiles(cpuPath, memPath string) (func(), error) {
-	var cpuFile *os.File
-	if cpuPath != "" {
-		f, err := os.Create(cpuPath)
+// readObservation loads a (links × intervals) speed matrix from path: CSV
+// (trafficio.ReadSpeedCSV) when the name ends in .csv, the {"speed": [[...]]}
+// JSON document otherwise.
+func readObservation(path string) (*tensor.Tensor, error) {
+	if strings.HasSuffix(strings.ToLower(path), ".csv") {
+		var obs *tensor.Tensor
+		err := cliutil.ReadFile(path, func(r io.Reader) error {
+			var err error
+			obs, err = trafficio.ReadSpeedCSV(r)
+			return err
+		})
 		if err != nil {
 			return nil, err
 		}
-		if err := pprof.StartCPUProfile(f); err != nil {
-			f.Close()
-			return nil, err
-		}
-		cpuFile = f
+		return obs, nil
 	}
-	done := false
-	return func() {
-		if done {
-			return
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var doc speedFile
+	if err := json.Unmarshal(raw, &doc); err != nil {
+		return nil, fmt.Errorf("parse %s: %w", path, err)
+	}
+	if len(doc.Speed) == 0 || len(doc.Speed[0]) == 0 {
+		return nil, fmt.Errorf("%s holds an empty speed matrix", path)
+	}
+	t := len(doc.Speed[0])
+	obs := tensor.New(len(doc.Speed), t)
+	for j, row := range doc.Speed {
+		if len(row) != t {
+			return nil, fmt.Errorf("ragged speed matrix at link %d", j)
 		}
-		done = true
-		if cpuFile != nil {
-			pprof.StopCPUProfile()
-			cpuFile.Close()
+		for tt, v := range row {
+			obs.Set(v, j, tt)
 		}
-		if memPath != "" {
-			f, err := os.Create(memPath)
-			if err != nil {
-				fmt.Fprintln(os.Stderr, err)
-				return
-			}
-			defer f.Close()
-			runtime.GC() // settle the heap so the profile reflects retained memory
-			if err := pprof.WriteHeapProfile(f); err != nil {
-				fmt.Fprintln(os.Stderr, err)
-			}
-		}
-	}, nil
+	}
+	return obs, nil
 }
 
 func run(cityName string, train bool, modelPath, fitPath, outPath, scaleName string, seed int64) error {
@@ -141,12 +145,7 @@ func run(cityName string, train bool, modelPath, fitPath, outPath, scaleName str
 		if _, err := model.TrainT2V(env.Samples, sc.T2VEpochs); err != nil {
 			return err
 		}
-		f, err := os.Create(modelPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		if err := model.Save(f); err != nil {
+		if err := cliutil.WriteFile(modelPath, model.Save); err != nil {
 			return err
 		}
 		fmt.Printf("trained %s mappings in %s, saved to %s\n",
@@ -155,42 +154,25 @@ func run(cityName string, train bool, modelPath, fitPath, outPath, scaleName str
 	}
 
 	// Fit mode: load trained parameters.
-	f, err := os.Open(modelPath)
-	if err != nil {
-		return fmt.Errorf("open model (run with -train first?): %w", err)
-	}
-	defer f.Close()
-	if err := model.Load(f); err != nil {
+	if err := cliutil.ReadFile(modelPath, model.Load); err != nil {
+		if os.IsNotExist(err) {
+			return fmt.Errorf("open model (run with -train first?): %w", err)
+		}
 		return err
 	}
 
 	var obs *tensor.Tensor
 	var truth *tensor.Tensor
 	if fitPath != "" {
-		raw, err := os.ReadFile(fitPath)
+		obs, err = readObservation(fitPath)
 		if err != nil {
 			return err
 		}
-		var doc speedFile
-		if err := json.Unmarshal(raw, &doc); err != nil {
-			return fmt.Errorf("parse %s: %w", fitPath, err)
+		if m := city.Net.NumLinks(); obs.Dim(0) != m {
+			return fmt.Errorf("observation has %d links, network has %d", obs.Dim(0), m)
 		}
-		m := city.Net.NumLinks()
-		if len(doc.Speed) != m {
-			return fmt.Errorf("observation has %d links, network has %d", len(doc.Speed), m)
-		}
-		t := len(doc.Speed[0])
-		obs = tensor.New(m, t)
-		for j, row := range doc.Speed {
-			if len(row) != t {
-				return fmt.Errorf("ragged speed matrix at link %d", j)
-			}
-			for tt, v := range row {
-				obs.Set(v, j, tt)
-			}
-		}
-		if t != sc.Intervals {
-			return fmt.Errorf("observation has %d intervals; the model was trained for %d", t, sc.Intervals)
+		if obs.Dim(1) != sc.Intervals {
+			return fmt.Errorf("observation has %d intervals; the model was trained for %d", obs.Dim(1), sc.Intervals)
 		}
 	} else {
 		// Demo: synthesize a hidden observation window.

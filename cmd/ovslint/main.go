@@ -1,0 +1,127 @@
+// Command ovslint runs the repository's custom static-analysis suite
+// (internal/lint) over the module's non-test packages and exits non-zero on
+// any unsuppressed diagnostic.
+//
+// Usage:
+//
+//	go run ./cmd/ovslint ./...
+//	go run ./cmd/ovslint ./internal/tensor ./internal/sim
+//	go run ./cmd/ovslint -list
+//
+// Package arguments restrict which packages are *reported*; the whole module
+// is always loaded so cross-package types resolve. A diagnostic is silenced
+// by an `//ovslint:ignore <analyzer> <reason>` comment on the flagged line
+// or the line immediately above it.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+
+	"ovs/internal/lint"
+)
+
+func main() {
+	list := flag.Bool("list", false, "list the analyzers and exit")
+	verbose := flag.Bool("v", false, "print a per-package summary to stderr")
+	flag.Parse()
+
+	if *list {
+		for _, a := range lint.All() {
+			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+		}
+		return
+	}
+
+	cwd, err := os.Getwd()
+	if err != nil {
+		fatal(err)
+	}
+	root, err := lint.FindModuleRoot(cwd)
+	if err != nil {
+		fatal(err)
+	}
+	loader, err := lint.NewLoader(root)
+	if err != nil {
+		fatal(err)
+	}
+	pkgs, err := loader.LoadAll()
+	if err != nil {
+		fatal(err)
+	}
+	for _, terr := range loader.TypeErrors {
+		fmt.Fprintf(os.Stderr, "ovslint: type error (best-effort linting continues): %v\n", terr)
+	}
+
+	keep := packageFilter(root, cwd, flag.Args())
+	total := 0
+	for _, pkg := range pkgs {
+		if !keep(pkg) {
+			continue
+		}
+		diags := lint.RunPackage(pkg, lint.All())
+		if *verbose {
+			fmt.Fprintf(os.Stderr, "ovslint: %s: %d diagnostic(s)\n", pkg.Path, len(diags))
+		}
+		for _, d := range diags {
+			rel := d
+			if r, err := filepath.Rel(root, d.Pos.Filename); err == nil {
+				rel.Pos.Filename = r
+			}
+			fmt.Println(rel)
+			total++
+		}
+	}
+	if total > 0 {
+		fmt.Fprintf(os.Stderr, "ovslint: %d diagnostic(s)\n", total)
+		os.Exit(1)
+	}
+}
+
+// packageFilter turns CLI patterns ("./...", "./internal/tensor", an import
+// path) into a predicate over loaded packages. No patterns means everything.
+func packageFilter(root, cwd string, patterns []string) func(*lint.Package) bool {
+	if len(patterns) == 0 {
+		return func(*lint.Package) bool { return true }
+	}
+	type rule struct {
+		dir       string
+		recursive bool
+	}
+	var rules []rule
+	for _, pat := range patterns {
+		recursive := false
+		if strings.HasSuffix(pat, "/...") {
+			recursive = true
+			pat = strings.TrimSuffix(pat, "/...")
+		}
+		if pat == "." || pat == "" {
+			rules = append(rules, rule{dir: cwd, recursive: recursive})
+			continue
+		}
+		dir := pat
+		if !filepath.IsAbs(dir) {
+			dir = filepath.Join(cwd, dir)
+		}
+		rules = append(rules, rule{dir: filepath.Clean(dir), recursive: recursive})
+	}
+	return func(p *lint.Package) bool {
+		for _, r := range rules {
+			if p.Dir == r.dir {
+				return true
+			}
+			if r.recursive && strings.HasPrefix(p.Dir+string(filepath.Separator), r.dir+string(filepath.Separator)) {
+				return true
+			}
+		}
+		return false
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "ovslint:", err)
+	os.Exit(1)
+}

@@ -10,13 +10,30 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math"
 	"os"
 
+	"ovs/internal/cliutil"
 	"ovs/internal/dataset"
 	"ovs/internal/roadnet"
 	"ovs/internal/trafficio"
 )
+
+// readNetworkFile opens path and decodes a network with parse, closing the
+// file and reporting the first failure.
+func readNetworkFile(path string, parse func(io.Reader) (*roadnet.Network, error)) (*roadnet.Network, error) {
+	var net *roadnet.Network
+	err := cliutil.ReadFile(path, func(r io.Reader) error {
+		var err error
+		net, err = parse(r)
+		return err
+	})
+	if err != nil {
+		return nil, err
+	}
+	return net, nil
+}
 
 func main() {
 	cityName := flag.String("city", "", "city preset: Hangzhou|Porto|Manhattan|StateCollege")
@@ -37,13 +54,10 @@ func main() {
 		printStats(net)
 	}
 	if *outPath != "" {
-		f, err := os.Create(*outPath)
+		err := cliutil.WriteFile(*outPath, func(w io.Writer) error {
+			return trafficio.WriteNetwork(w, net)
+		})
 		if err != nil {
-			fmt.Fprintln(os.Stderr, err)
-			os.Exit(1)
-		}
-		defer f.Close()
-		if err := trafficio.WriteNetwork(f, net); err != nil {
 			fmt.Fprintln(os.Stderr, err)
 			os.Exit(1)
 		}
@@ -66,19 +80,9 @@ func load(cityName, gridSpec, osmPath, netPath string, seed int64) (*roadnet.Net
 		}
 		return roadnet.Grid(roadnet.GridConfig{Rows: rows, Cols: cols}), nil
 	case osmPath != "":
-		f, err := os.Open(osmPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return trafficio.ImportOSM(f)
+		return readNetworkFile(osmPath, trafficio.ImportOSM)
 	case netPath != "":
-		f, err := os.Open(netPath)
-		if err != nil {
-			return nil, err
-		}
-		defer f.Close()
-		return trafficio.ReadNetwork(f)
+		return readNetworkFile(netPath, trafficio.ReadNetwork)
 	default:
 		return nil, fmt.Errorf("one of -city, -grid, -osm, -net is required")
 	}

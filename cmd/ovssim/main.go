@@ -15,10 +15,12 @@ package main
 import (
 	"flag"
 	"fmt"
+	"io"
 	"math/rand"
 	"os"
 	"strings"
 
+	"ovs/internal/cliutil"
 	"ovs/internal/dataset"
 	"ovs/internal/roadnet"
 	"ovs/internal/sim"
@@ -77,13 +79,11 @@ func run(cityName, gridSpec, netPath, demandPath, patternName string,
 		}
 		city.ResolveODs()
 	case netPath != "":
-		f, err := os.Open(netPath)
-		if err != nil {
+		if err := cliutil.ReadFile(netPath, func(r io.Reader) error {
+			var err error
+			net, err = trafficio.ReadNetwork(r)
 			return err
-		}
-		defer f.Close()
-		net, err = trafficio.ReadNetwork(f)
-		if err != nil {
+		}); err != nil {
 			return err
 		}
 		if demandPath == "" {
@@ -116,13 +116,11 @@ func run(cityName, gridSpec, netPath, demandPath, patternName string,
 
 	var demand sim.Demand
 	if demandPath != "" {
-		f, err := os.Open(demandPath)
-		if err != nil {
+		if err := cliutil.ReadFile(demandPath, func(r io.Reader) error {
+			var err error
+			demand, err = trafficio.ReadDemand(r)
 			return err
-		}
-		defer f.Close()
-		demand, err = trafficio.ReadDemand(f)
-		if err != nil {
+		}); err != nil {
 			return err
 		}
 		intervals = demand.G.Dim(1)
@@ -157,14 +155,10 @@ func run(cityName, gridSpec, netPath, demandPath, patternName string,
 		return err
 	}
 
-	out := os.Stdout
 	if outPath != "" {
-		f, err := os.Create(outPath)
-		if err != nil {
-			return err
-		}
-		defer f.Close()
-		out = f
+		return cliutil.WriteFile(outPath, func(w io.Writer) error {
+			return trafficio.WriteResult(w, res)
+		})
 	}
-	return trafficio.WriteResult(out, res)
+	return trafficio.WriteResult(os.Stdout, res)
 }

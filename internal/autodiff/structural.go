@@ -267,6 +267,7 @@ func backConv1DSame(out *Node) {
 	for co := 0; co < cout; co++ {
 		for t := 0; t < tt; t++ {
 			gOut := out.Grad.Data[co*tt+t]
+			//ovslint:ignore floateq exact-zero gradient skip is a sparsity fast path; any nonzero value must propagate
 			if gOut == 0 {
 				continue
 			}

@@ -45,6 +45,7 @@ func (gr *Gravity) Recover(ctx *Context) (*tensor.Tensor, error) {
 			maxShape = shape[i]
 		}
 	}
+	//ovslint:ignore floateq exact zero detects all-zero degenerate populations; any nonzero maximum is usable
 	if maxShape == 0 {
 		return nil, fmt.Errorf("baselines: Gravity degenerate populations")
 	}

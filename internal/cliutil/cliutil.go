@@ -1,0 +1,93 @@
+// Package cliutil holds small helpers shared by the cmd/ front-ends.
+package cliutil
+
+import (
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"runtime/pprof"
+)
+
+// CloseWith closes c and, when closing fails while *errp is still nil,
+// records the close error there. Deferred on files opened for writing so a
+// failed flush-on-close surfaces instead of being silently dropped:
+//
+//	func write(path string) (err error) {
+//		f, err := os.Create(path)
+//		if err != nil {
+//			return err
+//		}
+//		defer cliutil.CloseWith(&err, f)
+//		...
+//	}
+//
+// An earlier error wins — the close error is usually a consequence of it.
+func CloseWith(errp *error, c io.Closer) {
+	if cerr := c.Close(); cerr != nil && *errp == nil {
+		*errp = cerr
+	}
+}
+
+// WriteFile creates path, hands it to write, and closes it, returning the
+// first failure — including a failed close, which on a written file usually
+// means lost buffered data.
+func WriteFile(path string, write func(io.Writer) error) (err error) {
+	f, err := os.Create(path)
+	if err != nil {
+		return err
+	}
+	defer CloseWith(&err, f)
+	return write(f)
+}
+
+// ReadFile opens path, hands it to read, and closes it, returning the first
+// failure.
+func ReadFile(path string, read func(io.Reader) error) (err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return err
+	}
+	defer CloseWith(&err, f)
+	return read(f)
+}
+
+// StartProfiles begins CPU profiling and arranges for a heap profile, per
+// the given paths (either may be empty). The returned stop function is
+// idempotent so error paths can flush profiles before os.Exit.
+func StartProfiles(cpuPath, memPath string) (func(), error) {
+	var cpuFile *os.File
+	if cpuPath != "" {
+		f, err := os.Create(cpuPath)
+		if err != nil {
+			return nil, err
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			f.Close() //ovslint:ignore ignorederr StartCPUProfile failure is already returned; close is best-effort cleanup of an empty file
+			return nil, err
+		}
+		cpuFile = f
+	}
+	done := false
+	return func() {
+		if done {
+			return
+		}
+		done = true
+		if cpuFile != nil {
+			pprof.StopCPUProfile()
+			if err := cpuFile.Close(); err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+		if memPath != "" {
+			err := WriteFile(memPath, func(w io.Writer) error {
+				runtime.GC() // settle the heap so the profile reflects retained memory
+				return pprof.WriteHeapProfile(w)
+			})
+			if err != nil {
+				fmt.Fprintln(os.Stderr, err)
+			}
+		}
+	}, nil
+}

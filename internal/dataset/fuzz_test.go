@@ -1,0 +1,88 @@
+package dataset
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// FuzzGenerateTOD checks the synthetic TOD generator's contract over
+// arbitrary patterns and configurations: the result is always exactly
+// (Pairs × Intervals) with finite, non-negative trip counts.
+func FuzzGenerateTOD(f *testing.F) {
+	f.Add(0, 4, 6, 10.0, 1.0, int64(1))
+	f.Add(4, 1, 1, 0.0, 0.0, int64(7))
+	f.Add(-3, 9, 2, -5.0, 0.25, int64(42))
+	f.Fuzz(func(t *testing.T, pat, pairs, intervals int, minutes, scale float64, seed int64) {
+		p := AllPatterns[abs(pat)%len(AllPatterns)]
+		cfg := TODConfig{
+			Pairs:           abs(pairs)%16 + 1,
+			Intervals:       abs(intervals)%16 + 1,
+			IntervalMinutes: clampFinite(minutes, 60),
+			Scale:           clampFinite(scale, 4),
+		}
+		g := GenerateTOD(p, cfg, rand.New(rand.NewSource(seed)))
+		if g.Dim(0) != cfg.Pairs || g.Dim(1) != cfg.Intervals {
+			t.Fatalf("GenerateTOD(%v) shape %v, want (%d,%d)", p, g.Shape(), cfg.Pairs, cfg.Intervals)
+		}
+		for i, v := range g.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("GenerateTOD(%v) Data[%d] = %v; want finite non-negative", p, i, v)
+			}
+		}
+	})
+}
+
+// FuzzSyntheticGrid checks the synthetic city loader: for any pair budget
+// and seed, the city's OD pairs index valid regions, its anchors are valid
+// nodes, and its ground-truth TOD is finite and non-negative.
+func FuzzSyntheticGrid(f *testing.F) {
+	f.Add(6, int64(1), 8)
+	f.Add(1, int64(99), 1)
+	f.Add(50, int64(-3), 3)
+	f.Fuzz(func(t *testing.T, pairs int, seed int64, intervals int) {
+		city := SyntheticGrid(abs(pairs)%64+1, seed)
+		if len(city.ODs) != len(city.Pairs) {
+			t.Fatalf("%d resolved ODs for %d pairs", len(city.ODs), len(city.Pairs))
+		}
+		n := city.Net.NumNodes()
+		for i, p := range city.Pairs {
+			if p.Origin < 0 || p.Origin >= len(city.Regions) || p.Dest < 0 || p.Dest >= len(city.Regions) {
+				t.Fatalf("pair %d regions (%d,%d) out of range for %d regions", i, p.Origin, p.Dest, len(city.Regions))
+			}
+			od := city.ODs[i]
+			if od.Origin < 0 || od.Origin >= n || od.Dest < 0 || od.Dest >= n {
+				t.Fatalf("pair %d anchors (%d,%d) out of range for %d nodes", i, od.Origin, od.Dest, n)
+			}
+		}
+		iv := abs(intervals)%12 + 1
+		g := city.GroundTruthTOD(iv, 1, rand.New(rand.NewSource(seed)))
+		if g.Dim(0) != city.NumPairs() || g.Dim(1) != iv {
+			t.Fatalf("ground truth shape %v, want (%d,%d)", g.Shape(), city.NumPairs(), iv)
+		}
+		for i, v := range g.Data {
+			if math.IsNaN(v) || math.IsInf(v, 0) || v < 0 {
+				t.Fatalf("ground truth Data[%d] = %v; want finite non-negative", i, v)
+			}
+		}
+	})
+}
+
+func abs(x int) int {
+	if x < 0 {
+		if x == math.MinInt {
+			return 0
+		}
+		return -x
+	}
+	return x
+}
+
+// clampFinite folds an arbitrary fuzzed float into [0, limit] so the
+// generator's defaulting of non-positive values is still exercised.
+func clampFinite(v, limit float64) float64 {
+	if math.IsNaN(v) || math.IsInf(v, 0) {
+		return 1
+	}
+	return math.Mod(math.Abs(v), limit)
+}

@@ -66,7 +66,7 @@ func RunComparison(env *Env, name string) (*ComparisonResult, error) {
 	for i, m := range methods {
 		i, m := i, m
 		fns = append(fns, func() {
-			start := time.Now()
+			start := time.Now() //ovslint:ignore globalrand wall-clock timing is reported in tables but never feeds fitted results
 			rec, err := m.Recover(env.Context())
 			if err != nil {
 				errs[i] = fmt.Errorf("experiment: %s on %s: %w", m.Name(), name, err)

@@ -193,7 +193,7 @@ func (e *Env) runOVSVariant(ab core.Ablation, aux *core.AuxData) (*tensor.Tensor
 	if err != nil {
 		return nil, nil, 0, err
 	}
-	start := time.Now()
+	start := time.Now() //ovslint:ignore globalrand wall-clock timing is reported in tables but never feeds fitted results
 	rec, err := m.TrainFull(e.Samples, e.GT.Speed, e.Scale.V2SEpochs, e.Scale.T2VEpochs, e.Scale.FitEpochs, aux)
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("experiment: OVS (%v): %w", ab, err)

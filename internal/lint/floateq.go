@@ -1,0 +1,54 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// FloatEq flags == and != between floating-point operands. Exact equality on
+// computed floats is how pooled-vs-fresh and worker-count equivalence bugs
+// hide: two mathematically equal paths differ in the last ulp and a naive
+// comparison silently takes the wrong branch. Comparisons are allowed inside
+// approved tolerance/sentinel helpers (names matching almost/approx/close/
+// within/tol/isnan), in the `x != x` NaN idiom, and between constants;
+// everything else must use a helper or carry an //ovslint:ignore with the
+// reason exact equality is intended (e.g. a skip-if-exactly-zero fast path).
+var FloatEq = &Analyzer{
+	Name: "floateq",
+	Doc:  "flags ==/!= between floating-point operands outside approved comparison helpers",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			file := f
+			ast.Inspect(file, func(n ast.Node) bool {
+				bin, ok := n.(*ast.BinaryExpr)
+				if !ok || (bin.Op != token.EQL && bin.Op != token.NEQ) {
+					return true
+				}
+				if !isFloat(p.TypeOf(bin.X)) && !isFloat(p.TypeOf(bin.Y)) {
+					return true
+				}
+				if isConstExpr(p, bin.X) && isConstExpr(p, bin.Y) {
+					return true
+				}
+				// x != x is the portable NaN test; x == x its negation.
+				if types.ExprString(bin.X) == types.ExprString(bin.Y) {
+					return true
+				}
+				if approvedCompareHelper.MatchString(enclosingFuncName(file, bin.Pos())) {
+					return true
+				}
+				p.Reportf(bin.Pos(), "floating-point %s comparison: use a tolerance helper, or annotate why exact equality is intended", bin.Op)
+				return true
+			})
+		}
+	},
+}
+
+func isConstExpr(p *Pass, e ast.Expr) bool {
+	if p.Info == nil {
+		return false
+	}
+	tv, ok := p.Info.Types[e]
+	return ok && tv.Value != nil
+}

@@ -1,0 +1,50 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// GlobalRand flags uses of the process-global math/rand generator and of
+// time.Now inside the deterministic packages. Every random draw there must
+// come from an explicitly seeded *rand.Rand threaded through the call chain
+// (DESIGN.md §7); the global generator and the wall clock are hidden inputs
+// that change between runs. Constructors (rand.New, rand.NewSource, ...) are
+// exempt — building a seeded generator is exactly the approved pattern.
+var GlobalRand = &Analyzer{
+	Name: "globalrand",
+	Doc:  "flags math/rand package-level functions and time.Now in deterministic packages",
+	Run: func(p *Pass) {
+		if !isDeterministicPkg(p.PkgPath) {
+			return
+		}
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				sel, ok := n.(*ast.SelectorExpr)
+				if !ok {
+					return true
+				}
+				id, ok := sel.X.(*ast.Ident)
+				if !ok || p.Info == nil {
+					return true
+				}
+				pn, ok := p.Info.Uses[id].(*types.PkgName)
+				if !ok {
+					return true
+				}
+				switch pn.Imported().Path() {
+				case "math/rand", "math/rand/v2":
+					if _, isFn := p.Info.Uses[sel.Sel].(*types.Func); isFn && !strings.HasPrefix(sel.Sel.Name, "New") {
+						p.Reportf(sel.Pos(), "call to %s.%s draws from the process-global generator; thread a seeded *rand.Rand instead", pn.Imported().Path(), sel.Sel.Name)
+					}
+				case "time":
+					if sel.Sel.Name == "Now" {
+						p.Reportf(sel.Pos(), "time.Now in a deterministic package: the wall clock is a hidden input; pass timestamps in, or annotate if the value never reaches a result")
+					}
+				}
+				return true
+			})
+		}
+	},
+}

@@ -1,0 +1,148 @@
+package lint
+
+import (
+	"go/ast"
+	"go/types"
+	"strings"
+)
+
+// IgnoredErr flags discarded error returns in non-test code: bare call
+// statements (including deferred calls) whose callee returns an error, and
+// blank-identifier assignments of an error value. A swallowed error turns an
+// I/O or shape failure into silently wrong tables. Always-nil writers are
+// exempt — the fmt print family, bytes.Buffer, and strings.Builder — since
+// checking those is pure noise. Anything else must handle the error or carry
+// an //ovslint:ignore explaining why the failure is unreportable.
+var IgnoredErr = &Analyzer{
+	Name: "ignorederr",
+	Doc:  "flags discarded error returns (_ = and bare calls) in non-test code",
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			ast.Inspect(f, func(n ast.Node) bool {
+				switch s := n.(type) {
+				case *ast.ExprStmt:
+					if call, ok := s.X.(*ast.CallExpr); ok {
+						checkBareCall(p, call, "")
+					}
+				case *ast.DeferStmt:
+					checkBareCall(p, s.Call, "deferred ")
+				case *ast.AssignStmt:
+					checkBlankErrAssign(p, s)
+				}
+				return true
+			})
+		}
+	},
+}
+
+func checkBareCall(p *Pass, call *ast.CallExpr, kind string) {
+	if !callReturnsError(p, call) || exemptErrCall(p, call) {
+		return
+	}
+	p.Reportf(call.Pos(), "%scall to %s discards its error result; handle it or annotate why the failure is unreportable", kind, calleeName(call))
+}
+
+func checkBlankErrAssign(p *Pass, as *ast.AssignStmt) {
+	blankAt := func(i int) (*ast.Ident, bool) {
+		if i >= len(as.Lhs) {
+			return nil, false
+		}
+		id, ok := as.Lhs[i].(*ast.Ident)
+		return id, ok && id.Name == "_"
+	}
+	switch {
+	case len(as.Rhs) == len(as.Lhs):
+		for i, rhs := range as.Rhs {
+			if id, blank := blankAt(i); blank && isErrorType(p.TypeOf(rhs)) {
+				if call, ok := rhs.(*ast.CallExpr); !ok || !exemptErrCall(p, call) {
+					p.Reportf(id.Pos(), "error discarded with blank identifier; handle it or annotate why the failure is unreportable")
+				}
+			}
+		}
+	case len(as.Rhs) == 1:
+		tuple, ok := p.TypeOf(as.Rhs[0]).(*types.Tuple)
+		if !ok {
+			return
+		}
+		call, isCall := as.Rhs[0].(*ast.CallExpr)
+		if isCall && exemptErrCall(p, call) {
+			return
+		}
+		for i := 0; i < tuple.Len() && i < len(as.Lhs); i++ {
+			if id, blank := blankAt(i); blank && isErrorType(tuple.At(i).Type()) {
+				p.Reportf(id.Pos(), "error discarded with blank identifier; handle it or annotate why the failure is unreportable")
+			}
+		}
+	}
+}
+
+// callReturnsError reports whether any result of the call is the error type.
+func callReturnsError(p *Pass, call *ast.CallExpr) bool {
+	sig, ok := p.TypeOf(call.Fun).(*types.Signature)
+	if !ok {
+		return false // builtin, conversion, or unknown
+	}
+	res := sig.Results()
+	for i := 0; i < res.Len(); i++ {
+		if isErrorType(res.At(i).Type()) {
+			return true
+		}
+	}
+	return false
+}
+
+// exemptErrCall reports whether the callee is on the always-nil allowlist:
+// fmt's print family, and methods of bytes.Buffer / strings.Builder.
+func exemptErrCall(p *Pass, call *ast.CallExpr) bool {
+	sel, ok := call.Fun.(*ast.SelectorExpr)
+	if !ok || p.Info == nil {
+		return false
+	}
+	fn, ok := p.Info.Uses[sel.Sel].(*types.Func)
+	if !ok {
+		return false
+	}
+	sig, ok := fn.Type().(*types.Signature)
+	if !ok {
+		return false
+	}
+	if recv := sig.Recv(); recv != nil {
+		return receiverIsAlwaysNilWriter(recv.Type())
+	}
+	if pkg := fn.Pkg(); pkg != nil && pkg.Path() == "fmt" {
+		return strings.HasPrefix(fn.Name(), "Print") || strings.HasPrefix(fn.Name(), "Fprint")
+	}
+	return false
+}
+
+func receiverIsAlwaysNilWriter(t types.Type) bool {
+	if ptr, ok := t.(*types.Pointer); ok {
+		t = ptr.Elem()
+	}
+	named, ok := t.(*types.Named)
+	if !ok {
+		return false
+	}
+	obj := named.Obj()
+	if obj.Pkg() == nil {
+		return false
+	}
+	switch obj.Pkg().Path() + "." + obj.Name() {
+	case "bytes.Buffer", "strings.Builder":
+		return true
+	}
+	return false
+}
+
+func calleeName(call *ast.CallExpr) string {
+	switch fun := call.Fun.(type) {
+	case *ast.Ident:
+		return fun.Name
+	case *ast.SelectorExpr:
+		if id, ok := fun.X.(*ast.Ident); ok {
+			return id.Name + "." + fun.Sel.Name
+		}
+		return fun.Sel.Name
+	}
+	return "function"
+}

@@ -1,0 +1,196 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// MapIter flags `range` over a map, inside a deterministic package, whose
+// body either accumulates into a float or appends to a slice the enclosing
+// function returns. Go randomizes map iteration order, so a float reduction
+// over a map changes in the last ulp between runs and an appended slice
+// changes element order — both break the bitwise-reproducibility contract
+// (DESIGN.md §7). Iterate sorted keys or keep a parallel slice instead; if
+// the order provably cannot reach a result, annotate with the reason.
+var MapIter = &Analyzer{
+	Name: "mapiter",
+	Doc:  "flags map iteration in deterministic packages that accumulates floats or appends to returned slices",
+	Run: func(p *Pass) {
+		if !isDeterministicPkg(p.PkgPath) {
+			return
+		}
+		for _, f := range p.Files {
+			for _, decl := range f.Decls {
+				fd, ok := decl.(*ast.FuncDecl)
+				if !ok || fd.Body == nil {
+					continue
+				}
+				checkFuncMapRanges(p, fd.Type, fd.Body)
+				// Function literals get their own returned-object scope.
+				ast.Inspect(fd.Body, func(n ast.Node) bool {
+					if lit, ok := n.(*ast.FuncLit); ok {
+						checkFuncMapRanges(p, lit.Type, lit.Body)
+					}
+					return true
+				})
+			}
+		}
+	},
+}
+
+// checkFuncMapRanges inspects one function's body (excluding nested function
+// literals, which are checked separately) for offending map ranges.
+func checkFuncMapRanges(p *Pass, ftype *ast.FuncType, body *ast.BlockStmt) {
+	returned := returnedObjects(p, ftype, body)
+	walkSkippingFuncLits(body, func(n ast.Node) {
+		rng, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return
+		}
+		if t := p.TypeOf(rng.X); t == nil {
+			return
+		} else if _, isMap := t.Underlying().(*types.Map); !isMap {
+			return
+		}
+		if reason := nondeterministicBodyUse(p, rng.Body, returned); reason != "" {
+			p.Reportf(rng.Pos(), "map iteration order is randomized, and this loop %s; iterate sorted keys or a slice instead", reason)
+		}
+	})
+}
+
+// returnedObjects collects the objects a function can return: its named
+// results plus every identifier appearing directly in a return statement.
+func returnedObjects(p *Pass, ftype *ast.FuncType, body *ast.BlockStmt) map[types.Object]bool {
+	objs := make(map[types.Object]bool)
+	if p.Info == nil {
+		return objs
+	}
+	if ftype.Results != nil {
+		for _, field := range ftype.Results.List {
+			for _, name := range field.Names {
+				if obj := p.Info.Defs[name]; obj != nil {
+					objs[obj] = true
+				}
+			}
+		}
+	}
+	walkSkippingFuncLits(body, func(n ast.Node) {
+		ret, ok := n.(*ast.ReturnStmt)
+		if !ok {
+			return
+		}
+		for _, res := range ret.Results {
+			if id, ok := res.(*ast.Ident); ok {
+				if obj := p.Info.Uses[id]; obj != nil {
+					objs[obj] = true
+				}
+			}
+		}
+	})
+	return objs
+}
+
+// nondeterministicBodyUse reports why a map-range body is order-sensitive:
+// it accumulates into a float (compound assignment or x = x op e) or appends
+// to a returned slice. Empty string means the body looks order-insensitive.
+func nondeterministicBodyUse(p *Pass, body *ast.BlockStmt, returned map[types.Object]bool) string {
+	reason := ""
+	walkSkippingFuncLits(body, func(n ast.Node) {
+		if reason != "" {
+			return
+		}
+		as, ok := n.(*ast.AssignStmt)
+		if !ok {
+			return
+		}
+		switch as.Tok {
+		case token.ADD_ASSIGN, token.SUB_ASSIGN, token.MUL_ASSIGN, token.QUO_ASSIGN:
+			for _, lhs := range as.Lhs {
+				if isFloat(p.TypeOf(lhs)) {
+					reason = "accumulates into a float"
+					return
+				}
+			}
+		case token.ASSIGN, token.DEFINE:
+			for i, rhs := range as.Rhs {
+				if i >= len(as.Lhs) {
+					break
+				}
+				if call, ok := rhs.(*ast.CallExpr); ok && isBuiltinAppend(p, call) {
+					if obj := identObj(p, as.Lhs[i]); obj != nil && returned[obj] {
+						reason = "appends to a returned slice"
+						return
+					}
+				}
+				// x = x op e float accumulation written without a
+				// compound operator.
+				if as.Tok == token.ASSIGN && isFloat(p.TypeOf(as.Lhs[i])) && selfReferential(p, as.Lhs[i], rhs) {
+					reason = "accumulates into a float"
+					return
+				}
+			}
+		}
+	})
+	return reason
+}
+
+func isBuiltinAppend(p *Pass, call *ast.CallExpr) bool {
+	id, ok := call.Fun.(*ast.Ident)
+	if !ok || p.Info == nil {
+		return false
+	}
+	b, ok := p.Info.Uses[id].(*types.Builtin)
+	return ok && b.Name() == "append"
+}
+
+func identObj(p *Pass, e ast.Expr) types.Object {
+	id, ok := e.(*ast.Ident)
+	if !ok || p.Info == nil {
+		return nil
+	}
+	if obj := p.Info.Uses[id]; obj != nil {
+		return obj
+	}
+	return p.Info.Defs[id]
+}
+
+// selfReferential reports whether rhs is a binary arithmetic expression that
+// mentions the object lhs refers to (the `total = total + v` shape).
+func selfReferential(p *Pass, lhs, rhs ast.Expr) bool {
+	target := identObj(p, lhs)
+	if target == nil {
+		return false
+	}
+	bin, ok := rhs.(*ast.BinaryExpr)
+	if !ok {
+		return false
+	}
+	switch bin.Op {
+	case token.ADD, token.SUB, token.MUL, token.QUO:
+	default:
+		return false
+	}
+	found := false
+	ast.Inspect(bin, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok && p.Info != nil && p.Info.Uses[id] == target {
+			found = true
+		}
+		return !found
+	})
+	return found
+}
+
+// walkSkippingFuncLits visits every node under root except those inside
+// nested function literals, which form their own scope for mapiter.
+func walkSkippingFuncLits(root ast.Node, visit func(ast.Node)) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n != nil {
+			visit(n)
+		}
+		return true
+	})
+}

@@ -1,0 +1,40 @@
+// Package floateq exercises the floateq analyzer: exact ==/!= between
+// floating-point operands outside approved comparison helpers.
+package floateq
+
+func exactEqual(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}
+
+func exactNotEqual(a, b float32) bool {
+	return a != b // want "floating-point != comparison"
+}
+
+func nanIdiom(x float64) bool {
+	return x != x // the portable NaN test: not flagged
+}
+
+func almostEqual(a, b float64) bool {
+	if a == b { // approved helper name: not flagged
+		return true
+	}
+	d := a - b
+	if d < 0 {
+		d = -d
+	}
+	return d < 1e-9
+}
+
+func intEqual(a, b int) bool {
+	return a == b // integers are exact: not flagged
+}
+
+const eps = 1e-9
+
+func constantsOnly() bool {
+	return eps == 1e-9 // both operands constant: not flagged
+}
+
+func suppressedSentinel(x float64) bool {
+	return x == 0 //ovslint:ignore floateq fixture demonstrating an audited suppression
+}

@@ -1,0 +1,31 @@
+// Package globalrand exercises the globalrand analyzer: process-global
+// math/rand functions and time.Now inside a deterministic package. The test
+// harness loads this fixture under a deterministic package path.
+package globalrand
+
+import (
+	"math/rand"
+	"time"
+)
+
+func globalDraw() int {
+	return rand.Intn(10) // want "process-global generator"
+}
+
+func globalFloat() float64 {
+	return rand.Float64() // want "process-global generator"
+}
+
+func seededDraw(seed int64) float64 {
+	rng := rand.New(rand.NewSource(seed)) // constructors build the approved seeded generator: not flagged
+	return rng.Float64()
+}
+
+func wallClock() time.Time {
+	return time.Now() // want "wall clock is a hidden input"
+}
+
+func suppressedClock() int64 {
+	//ovslint:ignore globalrand fixture demonstrating an audited suppression
+	return time.Now().UnixNano()
+}

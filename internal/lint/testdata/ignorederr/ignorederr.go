@@ -1,0 +1,50 @@
+// Package ignorederr exercises the ignorederr analyzer: bare calls and
+// blank-identifier assignments that discard an error.
+package ignorederr
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"strings"
+)
+
+func mightFail() error { return errors.New("boom") }
+
+func pair() (int, error) { return 0, errors.New("boom") }
+
+func bareCall() {
+	mightFail() // want "discards its error result"
+}
+
+func deferredCall() {
+	defer mightFail() // want "discards its error result"
+}
+
+func blankAssign() {
+	_ = mightFail() // want "error discarded with blank identifier"
+}
+
+func blankInTuple() int {
+	v, _ := pair() // want "error discarded with blank identifier"
+	return v
+}
+
+func handled() error {
+	if err := mightFail(); err != nil {
+		return err
+	}
+	_, err := pair() // discarding the int is fine; the error is kept
+	return err
+}
+
+func exemptWriters(buf *bytes.Buffer, sb *strings.Builder) {
+	fmt.Println("fmt printers are exempt")
+	fmt.Fprintf(buf, "%d", 1)
+	buf.WriteString("bytes.Buffer writes never fail")
+	sb.WriteString("strings.Builder writes never fail")
+}
+
+func suppressedCall() {
+	mightFail() //ovslint:ignore ignorederr fixture demonstrating an audited suppression
+}

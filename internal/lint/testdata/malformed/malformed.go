@@ -1,0 +1,15 @@
+// Package malformed exercises directive validation: an ignore comment with
+// a missing analyzer, an unknown analyzer, or no reason is itself a
+// diagnostic, and can never suppress anything (including itself). The
+// expected diagnostics are asserted explicitly by the test rather than via
+// want comments, since the flagged line IS the directive comment.
+package malformed
+
+//ovslint:ignore
+var a = 1
+
+//ovslint:ignore floateq
+var b = 2
+
+//ovslint:ignore nosuchanalyzer because the name is wrong
+var c = 3

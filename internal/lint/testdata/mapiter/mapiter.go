@@ -1,0 +1,62 @@
+// Package mapiter exercises the mapiter analyzer: iterating a map in a
+// deterministic package while accumulating floats or appending to a
+// returned slice. The test harness loads this fixture under the package
+// path of a deterministic package.
+package mapiter
+
+func sumValues(w map[string]float64) float64 {
+	total := 0.0
+	for _, v := range w { // want "accumulates into a float"
+		total += v
+	}
+	return total
+}
+
+func sumValuesPlainAssign(w map[string]float64) float64 {
+	total := 0.0
+	for _, v := range w { // want "accumulates into a float"
+		total = total + v
+	}
+	return total
+}
+
+func collectKeys(w map[string]float64) []string {
+	var keys []string
+	for k := range w { // want "appends to a returned slice"
+		keys = append(keys, k)
+	}
+	return keys
+}
+
+func countEntries(w map[string]float64) int {
+	n := 0
+	for range w { // integer count is order-insensitive: not flagged
+		n++
+	}
+	return n
+}
+
+func appendScratch(w map[string]float64) int {
+	var scratch []string
+	for k := range w { // scratch is never returned: not flagged
+		scratch = append(scratch, k)
+	}
+	return len(scratch)
+}
+
+func sumSlice(xs []float64) float64 {
+	total := 0.0
+	for _, v := range xs { // slice iteration is ordered: not flagged
+		total += v
+	}
+	return total
+}
+
+func sumSuppressed(w map[string]float64) float64 {
+	total := 0.0
+	//ovslint:ignore mapiter fixture demonstrating an audited suppression
+	for _, v := range w {
+		total += v
+	}
+	return total
+}

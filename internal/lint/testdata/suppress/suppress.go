@@ -1,0 +1,30 @@
+// Package suppress verifies that an //ovslint:ignore directive silences
+// exactly the analyzer it names: a line that trips two analyzers with a
+// directive for one must still report the other. It also checks that
+// directives stack on consecutive lines above the flagged line.
+package suppress
+
+import "errors"
+
+func mightFail() error { return errors.New("boom") }
+
+func onlyNamedAnalyzerSilenced(a, b float64) bool {
+	//ovslint:ignore floateq only the float comparison is audited in this fixture
+	_, ok := mightFail(), a == b // want "error discarded with blank identifier"
+	return ok
+}
+
+func bothSuppressedByStackedDirectives(a, b float64) bool {
+	//ovslint:ignore floateq fixture demonstrating stacked suppressions
+	//ovslint:ignore ignorederr fixture demonstrating stacked suppressions
+	_, ok := mightFail(), a == b
+	return ok
+}
+
+func trailingDirective(a, b float64) bool {
+	return a == b //ovslint:ignore floateq trailing directives cover their own line
+}
+
+func unsuppressedControl(a, b float64) bool {
+	return a == b // want "floating-point == comparison"
+}

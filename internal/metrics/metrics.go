@@ -61,6 +61,7 @@ type Triple struct {
 // there would misprint "no improvement" when a degenerate baseline reaches
 // exactly zero error; table renderers print such cells as "—".
 func Improvement(a, b float64) float64 {
+	//ovslint:ignore floateq exact-zero baseline is the documented NaN sentinel for an undefined ratio
 	if b == 0 {
 		return math.NaN()
 	}

@@ -108,6 +108,7 @@ func (s *SGD) Step(params []*autodiff.Parameter) {
 		if p.Frozen() {
 			continue
 		}
+		//ovslint:ignore floateq Momentum==0 is a configuration sentinel meaning plain SGD, not a computed value
 		if s.Momentum == 0 {
 			tensor.AxpyInPlace(p.Value, -s.LR, p.Grad)
 			continue

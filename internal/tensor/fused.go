@@ -166,6 +166,7 @@ func matMulToRange(dst, a, b *Tensor, k, n, lo, hi int) {
 		}
 		for kk := 0; kk < k; kk++ {
 			av := arow[kk]
+			//ovslint:ignore floateq exact-zero skip is a sparsity fast path; skipping a true zero cannot change the sum
 			if av == 0 {
 				continue
 			}

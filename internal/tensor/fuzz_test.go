@@ -1,0 +1,99 @@
+package tensor
+
+import "testing"
+
+// FuzzIndexMath checks the shape/At/Set index arithmetic: for any rank-3
+// shape, At must panic exactly when an index is out of range, and accept
+// exactly the in-range indices with row-major addressing.
+func FuzzIndexMath(f *testing.F) {
+	f.Add(2, 3, 4, 1, 2, 3)
+	f.Add(1, 1, 1, 0, 0, 0)
+	f.Add(5, 2, 7, -1, 0, 6)
+	f.Fuzz(func(t *testing.T, d0, d1, d2, i, j, k int) {
+		d0, d1, d2 = clampDim(d0), clampDim(d1), clampDim(d2)
+		i, j, k = clampIdx(i), clampIdx(j), clampIdx(k)
+		tr := New(d0, d1, d2)
+		if tr.Size() != d0*d1*d2 {
+			t.Fatalf("Size() = %d for shape (%d,%d,%d)", tr.Size(), d0, d1, d2)
+		}
+		for n := range tr.Data {
+			tr.Data[n] = float64(n)
+		}
+		inRange := i >= 0 && i < d0 && j >= 0 && j < d1 && k >= 0 && k < d2
+		v, panicked := atRecover(tr, i, j, k)
+		if panicked != !inRange {
+			t.Fatalf("At(%d,%d,%d) on shape (%d,%d,%d): panicked=%v, want %v",
+				i, j, k, d0, d1, d2, panicked, !inRange)
+		}
+		if inRange {
+			if want := float64((i*d1+j)*d2 + k); v != want {
+				t.Fatalf("At(%d,%d,%d) = %v, want row-major %v", i, j, k, v, want)
+			}
+		}
+	})
+}
+
+// FuzzReshape checks that Reshape accepts exactly the element-preserving
+// shapes, shares backing data, and keeps row-major order.
+func FuzzReshape(f *testing.F) {
+	f.Add(2, 6, 3, 4)
+	f.Add(1, 1, 1, 1)
+	f.Add(3, 4, 6, 2)
+	f.Fuzz(func(t *testing.T, d0, d1, r0, r1 int) {
+		d0, d1, r0, r1 = clampDim(d0), clampDim(d1), clampDim(r0), clampDim(r1)
+		tr := New(d0, d1)
+		for n := range tr.Data {
+			tr.Data[n] = float64(n)
+		}
+		rs, panicked := reshapeRecover(tr, r0, r1)
+		if compatible := r0*r1 == d0*d1; panicked == compatible {
+			t.Fatalf("Reshape (%d,%d)->(%d,%d): panicked=%v, want %v",
+				d0, d1, r0, r1, panicked, !compatible)
+		}
+		if panicked {
+			return
+		}
+		if got, want := rs.At(r0-1, r1-1), float64(d0*d1-1); got != want {
+			t.Fatalf("last element after reshape = %v, want %v", got, want)
+		}
+		// A reshape is a view: same backing array.
+		rs.Data[0] = -1
+		if tr.Data[0] != -1 {
+			t.Fatal("Reshape no longer shares backing data")
+		}
+	})
+}
+
+// clampDim folds an arbitrary fuzzed int into a small positive dimension so
+// shapes stay allocatable while still exercising the index arithmetic.
+func clampDim(d int) int {
+	if d < 0 {
+		d = -d
+	}
+	return d%8 + 1
+}
+
+// clampIdx keeps fuzzed indices near the valid range, including negatives,
+// so both sides of every bound get probed.
+func clampIdx(i int) int {
+	const span = 10
+	return i%span - 1 // in [-span, span-2]
+}
+
+func atRecover(tr *Tensor, idx ...int) (v float64, panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	return tr.At(idx...), false
+}
+
+func reshapeRecover(tr *Tensor, shape ...int) (rs *Tensor, panicked bool) {
+	defer func() {
+		if recover() != nil {
+			panicked = true
+		}
+	}()
+	return tr.Reshape(shape...), false
+}

@@ -41,6 +41,7 @@ func Solve(a, b *Tensor) (*Tensor, error) {
 		pv := m.Data[col*n+col]
 		for r := col + 1; r < n; r++ {
 			f := m.Data[r*n+col] / pv
+			//ovslint:ignore floateq exact-zero factor makes the elimination row a no-op; any nonzero factor must be applied
 			if f == 0 {
 				continue
 			}

@@ -1,0 +1,103 @@
+package trafficio
+
+import (
+	"bytes"
+	"testing"
+)
+
+// FuzzImportOSM drives the OSM importer with arbitrary documents. Accepted
+// inputs must produce a structurally valid network: every link endpoint in
+// range and positive geometry.
+func FuzzImportOSM(f *testing.F) {
+	f.Add([]byte(`{"nodes":[{"id":1,"lat":30.0,"lon":120.0},{"id":2,"lat":30.001,"lon":120.0}],` +
+		`"ways":[{"nodes":[1,2],"lanes":2,"maxspeed_kmh":60}]}`))
+	f.Add([]byte(`{"nodes":[],"ways":[]}`))
+	f.Add([]byte(`{`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net, err := ImportOSM(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		n := net.NumNodes()
+		for _, l := range net.Links {
+			if l.From < 0 || l.From >= n || l.To < 0 || l.To >= n {
+				t.Fatalf("link %d endpoints (%d,%d) out of range for %d nodes", l.ID, l.From, l.To, n)
+			}
+			if l.Lanes < 1 || l.SpeedLimit <= 0 {
+				t.Fatalf("link %d has degenerate geometry: lanes=%d speed=%v", l.ID, l.Lanes, l.SpeedLimit)
+			}
+		}
+	})
+}
+
+// FuzzReadNetwork checks that any accepted network JSON survives a
+// write/read round trip with identical node and link counts.
+func FuzzReadNetwork(f *testing.F) {
+	f.Add([]byte(`{"nodes":[{"id":0,"x":0,"y":0},{"id":1,"x":100,"y":0}],` +
+		`"links":[{"from":0,"to":1,"length":100,"lanes":1,"speed_limit":13.9}]}`))
+	f.Add([]byte(`{"nodes":[],"links":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		net, err := ReadNetwork(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteNetwork(&buf, net); err != nil {
+			t.Fatalf("accepted network fails to serialize: %v", err)
+		}
+		again, err := ReadNetwork(&buf)
+		if err != nil {
+			t.Fatalf("serialized network fails to parse: %v", err)
+		}
+		if again.NumNodes() != net.NumNodes() || again.NumLinks() != net.NumLinks() {
+			t.Fatalf("round trip changed size: %d/%d nodes, %d/%d links",
+				net.NumNodes(), again.NumNodes(), net.NumLinks(), again.NumLinks())
+		}
+	})
+}
+
+// FuzzReadDemand checks the demand reader's shape contract: an accepted
+// demand always has one G row per OD pair and a positive interval count.
+func FuzzReadDemand(f *testing.F) {
+	f.Add([]byte(`{"ods":[[0,1]],"g":[[1.5,2.5]]}`))
+	f.Add([]byte(`{"ods":[],"g":[]}`))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		d, err := ReadDemand(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		if d.G.Dim(0) != len(d.ODs) || d.G.Dim(1) < 1 {
+			t.Fatalf("accepted demand has shape %v for %d OD pairs", d.G.Shape(), len(d.ODs))
+		}
+	})
+}
+
+// FuzzReadSpeedCSV checks that any accepted CSV speed matrix is rectangular,
+// finite, and bitwise stable under a write/read round trip.
+func FuzzReadSpeedCSV(f *testing.F) {
+	f.Add([]byte("t0,t1\n13.9,12.1\n0,55.5\n"))
+	f.Add([]byte("1,2\n3,4\n"))
+	f.Add([]byte(",,\n"))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		speed, err := ReadSpeedCSV(bytes.NewReader(data))
+		if err != nil {
+			return
+		}
+		var buf bytes.Buffer
+		if err := WriteSpeedCSV(&buf, speed); err != nil {
+			t.Fatalf("accepted matrix fails to serialize: %v", err)
+		}
+		again, err := ReadSpeedCSV(&buf)
+		if err != nil {
+			t.Fatalf("serialized matrix fails to parse: %v", err)
+		}
+		if !again.SameShape(speed) {
+			t.Fatalf("round trip changed shape %v -> %v", speed.Shape(), again.Shape())
+		}
+		for i := range speed.Data {
+			if speed.Data[i] != again.Data[i] {
+				t.Fatalf("round trip changed Data[%d]: %v -> %v", i, speed.Data[i], again.Data[i])
+			}
+		}
+	})
+}

@@ -1,0 +1,93 @@
+package trafficio
+
+import (
+	"encoding/csv"
+	"fmt"
+	"io"
+	"math"
+	"strconv"
+
+	"ovs/internal/tensor"
+)
+
+// WriteSpeedCSV writes a (links × intervals) speed matrix as CSV: a header
+// row t0,t1,... followed by one row per link. This is the exchange format
+// for bringing real per-link speed observations (the paper's input data)
+// into ovsfit without hand-building JSON.
+func WriteSpeedCSV(w io.Writer, speed *tensor.Tensor) error {
+	if speed.Rank() != 2 {
+		return fmt.Errorf("trafficio: speed matrix must be rank-2, got rank %d", speed.Rank())
+	}
+	m, t := speed.Dim(0), speed.Dim(1)
+	cw := csv.NewWriter(w)
+	header := make([]string, t)
+	for i := range header {
+		header[i] = "t" + strconv.Itoa(i)
+	}
+	if err := cw.Write(header); err != nil {
+		return err
+	}
+	row := make([]string, t)
+	for j := 0; j < m; j++ {
+		for tt := 0; tt < t; tt++ {
+			row[tt] = strconv.FormatFloat(speed.At(j, tt), 'g', -1, 64)
+		}
+		if err := cw.Write(row); err != nil {
+			return err
+		}
+	}
+	cw.Flush()
+	return cw.Error()
+}
+
+// ReadSpeedCSV parses a CSV speed matrix written by WriteSpeedCSV. The
+// header row is optional: when every field of the first record parses as a
+// number, the first record is data. All rows must have the same width and
+// every value must be a finite number.
+func ReadSpeedCSV(r io.Reader) (*tensor.Tensor, error) {
+	cr := csv.NewReader(r)
+	cr.FieldsPerRecord = -1 // widths are validated below for a better error
+	records, err := cr.ReadAll()
+	if err != nil {
+		return nil, fmt.Errorf("trafficio: read speed CSV: %w", err)
+	}
+	if len(records) > 0 && !numericRecord(records[0]) {
+		records = records[1:] // header
+	}
+	if len(records) == 0 || len(records[0]) == 0 {
+		return nil, fmt.Errorf("trafficio: speed CSV has no data rows")
+	}
+	t := len(records[0])
+	speed := tensor.New(len(records), t)
+	for j, rec := range records {
+		if len(rec) != t {
+			return nil, fmt.Errorf("trafficio: speed CSV row %d has %d fields, want %d", j, len(rec), t)
+		}
+		for tt, field := range rec {
+			v, err := strconv.ParseFloat(field, 64)
+			if err != nil {
+				return nil, fmt.Errorf("trafficio: speed CSV row %d field %d: %w", j, tt, err)
+			}
+			if math.IsNaN(v) || math.IsInf(v, 0) {
+				return nil, fmt.Errorf("trafficio: speed CSV row %d field %d: non-finite value %v", j, tt, v)
+			}
+			speed.Set(v, j, tt)
+		}
+	}
+	return speed, nil
+}
+
+// numericRecord reports whether every field of the record parses as a
+// finite float, i.e. the record is data rather than a header.
+func numericRecord(rec []string) bool {
+	if len(rec) == 0 {
+		return false
+	}
+	for _, field := range rec {
+		v, err := strconv.ParseFloat(field, 64)
+		if err != nil || math.IsNaN(v) || math.IsInf(v, 0) {
+			return false
+		}
+	}
+	return true
+}

@@ -1,0 +1,60 @@
+package trafficio
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ovs/internal/tensor"
+)
+
+func TestSpeedCSVRoundTrip(t *testing.T) {
+	speed := tensor.FromSlice([]float64{13.9, 12.125, 0, 55.5, 1e-3, 7}, 2, 3)
+	var buf bytes.Buffer
+	if err := WriteSpeedCSV(&buf, speed); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadSpeedCSV(&buf)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !got.SameShape(speed) {
+		t.Fatalf("shape %v after round trip, want %v", got.Shape(), speed.Shape())
+	}
+	for i, v := range got.Data {
+		if v != speed.Data[i] {
+			t.Fatalf("Data[%d] = %v after round trip, want %v", i, v, speed.Data[i])
+		}
+	}
+}
+
+func TestReadSpeedCSVHeaderless(t *testing.T) {
+	got, err := ReadSpeedCSV(strings.NewReader("1,2\n3,4\n"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.Dim(0) != 2 || got.Dim(1) != 2 || got.At(1, 0) != 3 {
+		t.Fatalf("got %v %v", got.Shape(), got.Data)
+	}
+}
+
+func TestReadSpeedCSVErrors(t *testing.T) {
+	cases := map[string]string{
+		"empty":      "",
+		"headerOnly": "t0,t1\n",
+		"ragged":     "t0,t1\n1,2\n3\n",
+		"nonNumber":  "t0\nabc\n",
+		"infinite":   "t0,t1\n1,+Inf\n",
+	}
+	for name, src := range cases {
+		if _, err := ReadSpeedCSV(strings.NewReader(src)); err == nil {
+			t.Errorf("%s: expected error, got none", name)
+		}
+	}
+}
+
+func TestWriteSpeedCSVRejectsNonMatrix(t *testing.T) {
+	if err := WriteSpeedCSV(&bytes.Buffer{}, tensor.New(2, 2, 2)); err == nil {
+		t.Fatal("expected rank error, got none")
+	}
+}
