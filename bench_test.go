@@ -3,13 +3,14 @@
 // minutes on one core), plus micro-benchmarks of the substrates the pipeline
 // spends its time in. Every benchmark reports allocations (the training hot
 // loop is pooled; see DESIGN.md §11), and cmd/ovsbench turns a sweep into
-// BENCH_2.json for the perf trajectory. For paper-shaped output at a more
+// BENCH_4.json for the perf trajectory. For paper-shaped output at a more
 // faithful scale, run:
 //
 //	go run ./cmd/ovstables -exp all -scale quick
 package ovs_test
 
 import (
+	"fmt"
 	"math/rand"
 	"testing"
 
@@ -184,6 +185,29 @@ func BenchmarkSimulatorMeso(b *testing.B) {
 	}
 }
 
+// BenchmarkSimulatorMesoDynamic measures the meso engine under
+// DynamicRouting, where the per-(OD, interval) route cache turns a Dijkstra
+// per vehicle into a Dijkstra per OD per interval. The dijkstra/op metric is
+// the cached invocation count (static precompute + one per spawned
+// OD-interval).
+func BenchmarkSimulatorMesoDynamic(b *testing.B) {
+	city := dataset.SyntheticGrid(8, 1)
+	g := tensor.Full(20, city.NumPairs(), 6)
+	b.ReportAllocs()
+	b.ResetTimer()
+	calls := 0
+	for i := 0; i < b.N; i++ {
+		s := sim.New(city.Net, sim.Config{Intervals: 6, IntervalSec: 300, Seed: int64(i),
+			Routing: sim.DynamicRouting})
+		res, err := s.Run(sim.Demand{ODs: city.ODs, G: g})
+		if err != nil {
+			b.Fatal(err)
+		}
+		calls += res.DijkstraCalls
+	}
+	b.ReportMetric(float64(calls)/float64(b.N), "dijkstra/op")
+}
+
 // BenchmarkSimulatorMicro measures the IDM car-following engine on the same
 // workload.
 func BenchmarkSimulatorMicro(b *testing.B) {
@@ -290,15 +314,53 @@ func BenchmarkDijkstra(b *testing.B) {
 	}
 }
 
-// BenchmarkMatMul measures the dense kernel at an LSTM-typical size.
+// BenchmarkMatMul measures the dense kernel at 256×256×256 through the
+// packed, cache-blocked GEMM core — the headline size the perf trajectory
+// tracks (BENCH_2's naive kernel vs BENCH_4's packed kernel), and the
+// benchmark CI gates on allocs/op (a regression means the arena-pooled pack
+// buffers stopped pooling).
 func BenchmarkMatMul(b *testing.B) {
 	rng := rand.New(rand.NewSource(1))
-	x := tensor.Randn(rng, 1, 64, 64)
-	y := tensor.Randn(rng, 1, 64, 64)
+	x := tensor.Randn(rng, 1, 256, 256)
+	y := tensor.Randn(rng, 1, 256, 256)
 	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		_ = tensor.MatMul(x, y)
+	}
+}
+
+// BenchmarkGEMM sweeps the packed blocked GEMM core across square and ragged
+// shapes (64..512, including non-tile-multiples) for all four entry points.
+// Each subtest reports effective GFLOPS alongside the standard metrics.
+func BenchmarkGEMM(b *testing.B) {
+	shapes := []struct{ m, n, k int }{
+		{64, 64, 64}, {128, 128, 128}, {256, 256, 256}, {512, 512, 512},
+		{512, 64, 256}, {64, 512, 128}, {256, 256, 33}, {96, 200, 72},
+	}
+	rng := rand.New(rand.NewSource(1))
+	for _, s := range shapes {
+		name := fmt.Sprintf("%dx%dx%d", s.m, s.n, s.k)
+		a := tensor.Randn(rng, 1, s.m, s.k)
+		bb := tensor.Randn(rng, 1, s.k, s.n)
+		aT := tensor.Randn(rng, 1, s.k, s.m)
+		bT := tensor.Randn(rng, 1, s.n, s.k)
+		dst := tensor.New(s.m, s.n)
+		flops := 2 * float64(s.m) * float64(s.n) * float64(s.k)
+		run := func(variant string, fn func()) {
+			b.Run(variant+"/"+name, func(b *testing.B) {
+				b.ReportAllocs()
+				b.ResetTimer()
+				for i := 0; i < b.N; i++ {
+					fn()
+				}
+				b.ReportMetric(flops*float64(b.N)/b.Elapsed().Seconds()/1e9, "GFLOPS")
+			})
+		}
+		run("MatMul", func() { _ = tensor.MatMul(a, bb) })
+		run("MatMulTo", func() { tensor.MatMulTo(dst, a, bb) })
+		run("MatMulNTAcc", func() { tensor.MatMulNTAcc(dst, a, bT) })
+		run("MatMulTNAcc", func() { tensor.MatMulTNAcc(dst, aT, bb) })
 	}
 }
 

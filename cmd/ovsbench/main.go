@@ -5,11 +5,16 @@
 //
 // Usage:
 //
-//	ovsbench -bench 'BenchmarkFitEpoch|BenchmarkBackward' -o BENCH_2.json
-//	ovsbench -benchtime 5x -o BENCH_2.json
+//	ovsbench -bench 'BenchmarkFitEpoch|BenchmarkBackward' -o BENCH_4.json
+//	ovsbench -benchtime 5x -o BENCH_4.json
+//	ovsbench -benchtime 100ms -maxallocs 'BenchmarkMatMul=16'
 //
 // The default selection covers the allocation-sensitive hot-loop benchmarks
-// that the arena work targets; pass -bench '.' for everything.
+// plus the GEMM shape sweep and routing benchmarks; pass -bench '.' for
+// everything. -maxallocs turns the run into a regression gate: it fails (and
+// exits non-zero) when a named benchmark's allocs/op exceeds its limit,
+// which CI uses to catch the pooled pack buffers quietly reverting to
+// per-call allocation.
 package main
 
 import (
@@ -41,22 +46,94 @@ type Report struct {
 	Results    []Result `json:"results"`
 }
 
-const defaultBench = "BenchmarkFitEpoch|BenchmarkBackward|BenchmarkModelForward|BenchmarkMatMul$|BenchmarkMatMulParallel|BenchmarkLSTMForwardBackward|BenchmarkSimulatorMeso"
+const defaultBench = "BenchmarkFitEpoch|BenchmarkBackward|BenchmarkModelForward|BenchmarkMatMul$|BenchmarkMatMulParallel|BenchmarkGEMM|BenchmarkLSTMForwardBackward|BenchmarkSimulatorMeso|BenchmarkDijkstra"
 
 func main() {
 	bench := flag.String("bench", defaultBench, "benchmark selection regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
 	pkg := flag.String("pkg", ".", "package pattern holding the benchmarks")
-	outPath := flag.String("o", "BENCH_2.json", "output JSON path")
+	outPath := flag.String("o", "BENCH_4.json", "output JSON path")
+	maxAllocs := flag.String("maxallocs", "",
+		"comma-separated name=limit pairs, e.g. 'BenchmarkMatMul=16'; fail when a benchmark's allocs/op exceeds its limit (names matched exactly after stripping the -GOMAXPROCS suffix)")
 	flag.Parse()
 
-	if err := run(*bench, *benchtime, *pkg, *outPath); err != nil {
+	gates, err := parseAllocGates(*maxAllocs)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, err)
+		os.Exit(2)
+	}
+	if err := run(*bench, *benchtime, *pkg, *outPath, gates); err != nil {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(1)
 	}
 }
 
-func run(bench, benchtime, pkg, outPath string) error {
+// allocGate is one -maxallocs entry, kept in flag order so gate checking and
+// its error output are deterministic.
+type allocGate struct {
+	name  string
+	limit int64
+}
+
+func parseAllocGates(spec string) ([]allocGate, error) {
+	if spec == "" {
+		return nil, nil
+	}
+	var gates []allocGate
+	for _, pair := range strings.Split(spec, ",") {
+		name, limitStr, ok := strings.Cut(strings.TrimSpace(pair), "=")
+		if !ok {
+			return nil, fmt.Errorf("ovsbench: -maxallocs entry %q is not name=limit", pair)
+		}
+		limit, err := strconv.ParseInt(limitStr, 10, 64)
+		if err != nil || limit < 0 {
+			return nil, fmt.Errorf("ovsbench: -maxallocs limit in %q must be a non-negative integer", pair)
+		}
+		gates = append(gates, allocGate{name: name, limit: limit})
+	}
+	return gates, nil
+}
+
+// trimProcsSuffix removes go test's -GOMAXPROCS decoration ("BenchmarkX-8" →
+// "BenchmarkX"), so gates match across machines.
+func trimProcsSuffix(name string) string {
+	i := strings.LastIndex(name, "-")
+	if i < 0 {
+		return name
+	}
+	if _, err := strconv.Atoi(name[i+1:]); err != nil {
+		return name
+	}
+	return name[:i]
+}
+
+// checkAllocGates enforces -maxallocs: every gate must match at least one
+// result, and no matched result may exceed its limit.
+func checkAllocGates(results []Result, gates []allocGate) error {
+	var violations []string
+	for _, g := range gates {
+		matched := false
+		for _, r := range results {
+			if trimProcsSuffix(r.Name) != g.name {
+				continue
+			}
+			matched = true
+			if r.AllocsPerOp > g.limit {
+				violations = append(violations, fmt.Sprintf("%s: %d allocs/op > limit %d",
+					r.Name, r.AllocsPerOp, g.limit))
+			}
+		}
+		if !matched {
+			violations = append(violations, fmt.Sprintf("%s: gate matched no benchmark result", g.name))
+		}
+	}
+	if len(violations) > 0 {
+		return fmt.Errorf("ovsbench: allocation gate failed:\n  %s", strings.Join(violations, "\n  "))
+	}
+	return nil
+}
+
+func run(bench, benchtime, pkg, outPath string, gates []allocGate) error {
 	args := []string{"test", "-run", "^$", "-bench", bench, "-benchtime", benchtime, "-benchmem", pkg}
 	cmd := exec.Command("go", args...)
 	var out bytes.Buffer
@@ -86,7 +163,9 @@ func run(bench, benchtime, pkg, outPath string) error {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "ovsbench: wrote %d results to %s\n", len(results), outPath)
-	return nil
+	// Gate after writing, so the report survives as an artifact even when the
+	// allocation check fails.
+	return checkAllocGates(results, gates)
 }
 
 func goVersion() string {

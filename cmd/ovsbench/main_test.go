@@ -1,0 +1,65 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestTrimProcsSuffix(t *testing.T) {
+	cases := map[string]string{
+		"BenchmarkMatMul-8":             "BenchmarkMatMul",
+		"BenchmarkMatMul":               "BenchmarkMatMul",
+		"BenchmarkGEMM/MatMulTo/64-16":  "BenchmarkGEMM/MatMulTo/64",
+		"BenchmarkMatMulParallel/w=1-2": "BenchmarkMatMulParallel/w=1",
+		"Benchmark-notanumber":          "Benchmark-notanumber",
+	}
+	for in, want := range cases {
+		if got := trimProcsSuffix(in); got != want {
+			t.Errorf("trimProcsSuffix(%q) = %q, want %q", in, got, want)
+		}
+	}
+}
+
+func TestParseAllocGates(t *testing.T) {
+	gates, err := parseAllocGates("BenchmarkMatMul=16, BenchmarkDijkstra=2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []allocGate{{"BenchmarkMatMul", 16}, {"BenchmarkDijkstra", 2}}
+	if len(gates) != len(want) {
+		t.Fatalf("got %d gates, want %d", len(gates), len(want))
+	}
+	for i := range want {
+		if gates[i] != want[i] {
+			t.Errorf("gate %d = %+v, want %+v", i, gates[i], want[i])
+		}
+	}
+	for _, bad := range []string{"BenchmarkMatMul", "BenchmarkMatMul=-1", "BenchmarkMatMul=x"} {
+		if _, err := parseAllocGates(bad); err == nil {
+			t.Errorf("parseAllocGates(%q) accepted an invalid spec", bad)
+		}
+	}
+}
+
+func TestCheckAllocGates(t *testing.T) {
+	results := []Result{
+		{Name: "BenchmarkMatMul-8", AllocsPerOp: 10},
+		{Name: "BenchmarkMatMulParallel/workers=1-8", AllocsPerOp: 40},
+		{Name: "BenchmarkDijkstra", AllocsPerOp: 1},
+	}
+	// Passing gate: suffix stripped, exact match (does not also catch
+	// BenchmarkMatMulParallel/...).
+	if err := checkAllocGates(results, []allocGate{{"BenchmarkMatMul", 16}}); err != nil {
+		t.Fatalf("gate within limit failed: %v", err)
+	}
+	// Exceeded limit fails and names the offender.
+	err := checkAllocGates(results, []allocGate{{"BenchmarkMatMul", 4}})
+	if err == nil || !strings.Contains(err.Error(), "BenchmarkMatMul-8: 10 allocs/op > limit 4") {
+		t.Fatalf("exceeded gate error = %v", err)
+	}
+	// A gate matching no result is an error, not a silent pass.
+	err = checkAllocGates(results, []allocGate{{"BenchmarkNoSuch", 1}})
+	if err == nil || !strings.Contains(err.Error(), "matched no benchmark result") {
+		t.Fatalf("unmatched gate error = %v", err)
+	}
+}

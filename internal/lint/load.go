@@ -3,6 +3,7 @@ package lint
 import (
 	"fmt"
 	"go/ast"
+	"go/build"
 	"go/importer"
 	"go/parser"
 	"go/token"
@@ -136,11 +137,25 @@ func hasGoFiles(dir string) bool {
 		return false
 	}
 	for _, e := range ents {
-		if !e.IsDir() && strings.HasSuffix(e.Name(), ".go") && !strings.HasSuffix(e.Name(), "_test.go") {
+		if !e.IsDir() && includeFile(dir, e.Name()) {
 			return true
 		}
 	}
 	return false
+}
+
+// includeFile reports whether name belongs to the package as built on the
+// host: non-test Go files whose filename suffix and //go:build constraints
+// match the current GOOS/GOARCH. Without this filter, mutually exclusive
+// files (foo_amd64.go vs foo_noasm.go) would both load and their stub
+// declarations would collide, flooding TypeErrors and degrading the
+// type-sensitive analyzers.
+func includeFile(dir, name string) bool {
+	if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		return false
+	}
+	match, err := build.Default.MatchFile(dir, name)
+	return err == nil && match
 }
 
 func (l *Loader) importPathFor(dir string) string {
@@ -162,7 +177,7 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	}
 	var files []*ast.File
 	for _, e := range ents {
-		if e.IsDir() || !strings.HasSuffix(e.Name(), ".go") || strings.HasSuffix(e.Name(), "_test.go") {
+		if e.IsDir() || !includeFile(dir, e.Name()) {
 			continue
 		}
 		f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)

@@ -1,9 +1,9 @@
 package roadnet
 
 import (
-	"container/heap"
 	"fmt"
 	"math"
+	"sync"
 )
 
 // Route is a path through the network represented as an ordered sequence of
@@ -62,17 +62,75 @@ type pqItem struct {
 	dist float64
 }
 
-type pq []pqItem
+// pqUp and pqDown implement the binary min-heap on a bare []pqItem with the
+// exact sift semantics of container/heap (strict-less comparisons, left child
+// preferred on ties), so replacing the interface-based heap changed no pop
+// order — only the per-operation interface boxing, which previously accounted
+// for most of ShortestPath's allocations.
+func pqUp(q []pqItem, j int) {
+	for j > 0 {
+		i := (j - 1) / 2
+		if !(q[j].dist < q[i].dist) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		j = i
+	}
+}
 
-func (p pq) Len() int            { return len(p) }
-func (p pq) Less(i, j int) bool  { return p[i].dist < p[j].dist }
-func (p pq) Swap(i, j int)       { p[i], p[j] = p[j], p[i] }
-func (p *pq) Push(x interface{}) { *p = append(*p, x.(pqItem)) }
-func (p *pq) Pop() interface{} {
-	old := *p
-	it := old[len(old)-1]
-	*p = old[:len(old)-1]
-	return it
+func pqDown(q []pqItem, i0 int) {
+	n := len(q)
+	i := i0
+	for {
+		j := 2*i + 1
+		if j >= n {
+			break
+		}
+		if j2 := j + 1; j2 < n && q[j2].dist < q[j].dist {
+			j = j2
+		}
+		if !(q[j].dist < q[i].dist) {
+			break
+		}
+		q[i], q[j] = q[j], q[i]
+		i = j
+	}
+}
+
+// spScratch holds the per-call working state of ShortestPath. Instances are
+// recycled through spPool so route precompute and per-interval dynamic
+// routing stop allocating per call; every field is reinitialized by reset, so
+// reuse cannot leak state between calls (or between goroutines — each Get
+// hands out a scratch owned exclusively by the caller).
+type spScratch struct {
+	dist     []float64
+	prevLink []int
+	done     []bool
+	heap     []pqItem
+	rev      []int
+}
+
+var spPool = sync.Pool{New: func() interface{} { return new(spScratch) }}
+
+// reset sizes the node-indexed arrays and restores their initial values.
+func (sc *spScratch) reset(nNodes int) {
+	if cap(sc.dist) < nNodes {
+		sc.dist = make([]float64, nNodes)
+	}
+	if cap(sc.prevLink) < nNodes {
+		sc.prevLink = make([]int, nNodes)
+	}
+	if cap(sc.done) < nNodes {
+		sc.done = make([]bool, nNodes)
+	}
+	sc.dist = sc.dist[:nNodes]
+	sc.prevLink = sc.prevLink[:nNodes]
+	sc.done = sc.done[:nNodes]
+	for i := range sc.dist {
+		sc.dist[i] = math.Inf(1)
+		sc.prevLink[i] = -1
+		sc.done[i] = false
+	}
 }
 
 // ShortestPath runs Dijkstra from `from` to `to` using the supplied per-link
@@ -85,17 +143,18 @@ func (net *Network) ShortestPath(from, to int, weight func(linkID int) float64, 
 		weight = func(id int) float64 { return net.Links[id].FreeFlowTime() }
 	}
 	nNodes := net.NumNodes()
-	dist := make([]float64, nNodes)
-	prevLink := make([]int, nNodes)
-	done := make([]bool, nNodes)
-	for i := range dist {
-		dist[i] = math.Inf(1)
-		prevLink[i] = -1
-	}
+	sc := spPool.Get().(*spScratch)
+	defer spPool.Put(sc)
+	sc.reset(nNodes)
+	dist, prevLink, done := sc.dist, sc.prevLink, sc.done
 	dist[from] = 0
-	q := &pq{{node: from, dist: 0}}
-	for q.Len() > 0 {
-		it := heap.Pop(q).(pqItem)
+	q := append(sc.heap[:0], pqItem{node: from, dist: 0})
+	for len(q) > 0 {
+		it := q[0]
+		n := len(q) - 1
+		q[0] = q[n]
+		q = q[:n]
+		pqDown(q, 0)
 		if done[it.node] {
 			continue
 		}
@@ -115,20 +174,23 @@ func (net *Network) ShortestPath(from, to int, weight func(linkID int) float64, 
 			if nd := it.dist + w; nd < dist[u] {
 				dist[u] = nd
 				prevLink[u] = id
-				heap.Push(q, pqItem{node: u, dist: nd})
+				q = append(q, pqItem{node: u, dist: nd})
+				pqUp(q, len(q)-1)
 			}
 		}
 	}
+	sc.heap = q[:0] // keep any growth for the next pooled call
 	if math.IsInf(dist[to], 1) {
 		return nil, 0, fmt.Errorf("roadnet: no path from %d to %d", from, to)
 	}
-	// Reconstruct.
-	var rev Route
+	// Reconstruct into the pooled reversal buffer, then copy out.
+	rev := sc.rev[:0]
 	for v := to; v != from; {
 		id := prevLink[v]
 		rev = append(rev, id)
 		v = net.Links[id].From
 	}
+	sc.rev = rev[:0]
 	route := make(Route, len(rev))
 	for i, id := range rev {
 		route[len(rev)-1-i] = id
@@ -157,6 +219,11 @@ func (net *Network) KShortestPaths(from, to, k int, weight func(linkID int) floa
 
 	seen := map[string]bool{routeKey(best): true}
 
+	// Spur-ban maps are reused across iterations (cleared, never ranged
+	// over), so the Yen loop allocates no map per spur node.
+	banned := make(map[int]bool)
+	rootNodes := make(map[int]bool)
+
 	for len(paths) < k {
 		prev := paths[len(paths)-1]
 		// Spur from every node of the previous path.
@@ -167,7 +234,7 @@ func (net *Network) KShortestPaths(from, to, k int, weight func(linkID int) floa
 			}
 			rootPath := prev[:i]
 
-			banned := make(map[int]bool)
+			clear(banned)
 			// Ban the next edge of every accepted path sharing this root.
 			for _, p := range paths {
 				if len(p) > i && sameRoute(p[:i], rootPath) {
@@ -175,7 +242,8 @@ func (net *Network) KShortestPaths(from, to, k int, weight func(linkID int) floa
 				}
 			}
 			// Ban root-path links to keep the result loopless.
-			rootNodes := map[int]bool{from: true}
+			clear(rootNodes)
+			rootNodes[from] = true
 			for _, id := range rootPath {
 				rootNodes[net.Links[id].To] = true
 			}

@@ -101,6 +101,12 @@ func (s *Simulator) runMeso(d Demand) (*Result, error) {
 			}
 		})
 
+		// Interval boundary: snapshot the just-updated speeds for dynamic
+		// route choice and invalidate the per-OD route cache.
+		if step%stepsPerInterval == 0 {
+			chooser.beginInterval(curSpeed)
+		}
+
 		// 3. Transfers at link ends, capacity- and space-limited; a red
 		// signal blocks the approach entirely.
 		for j := 0; j < m; j++ {
@@ -168,7 +174,10 @@ func (s *Simulator) runMeso(d Demand) (*Result, error) {
 		for nextSpawn < len(spawns) && spawns[nextSpawn].step <= step {
 			ev := spawns[nextSpawn]
 			nextSpawn++
-			route := chooser.choose(ev.od, curSpeed, rng)
+			route, err := chooser.choose(ev.od, curSpeed, rng)
+			if err != nil {
+				return nil, err
+			}
 			vehicles = append(vehicles, mesoVehicle{route: route, spawnStep: step})
 			vi := len(vehicles) - 1
 			first := route[0]
@@ -217,6 +226,7 @@ func (s *Simulator) runMeso(d Demand) (*Result, error) {
 		}
 	})
 	res.Spawned = len(vehicles)
+	res.DijkstraCalls = chooser.calls
 	return res, nil
 }
 

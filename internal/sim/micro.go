@@ -97,6 +97,13 @@ func (s *Simulator) runMicro(d Demand) (*Result, error) {
 	for step := 0; step < totalSteps; step++ {
 		interval := step / stepsPerInterval
 
+		// Interval boundary: refresh the dynamic route cache. The micro
+		// engine evaluates candidates at free-flow speeds (it keeps no
+		// per-link aggregate speed), so only the cache invalidation matters.
+		if step%stepsPerInterval == 0 {
+			chooser.beginInterval(freeSpeed)
+		}
+
 		// 1. IDM acceleration update, link by link, leader to follower.
 		for j := 0; j < m; j++ {
 			occ := occupants[j]
@@ -204,7 +211,10 @@ func (s *Simulator) runMicro(d Demand) (*Result, error) {
 		for nextSpawn < len(spawns) && spawns[nextSpawn].step <= step {
 			ev := spawns[nextSpawn]
 			nextSpawn++
-			route := chooser.choose(ev.od, freeSpeed, rng)
+			route, err := chooser.choose(ev.od, freeSpeed, rng)
+			if err != nil {
+				return nil, err
+			}
 			vehicles = append(vehicles, microVehicle{route: route, spawnStep: step})
 			vi := len(vehicles) - 1
 			first := route[0]
@@ -242,6 +252,7 @@ func (s *Simulator) runMicro(d Demand) (*Result, error) {
 		}
 	}
 	res.Spawned = len(vehicles)
+	res.DijkstraCalls = chooser.calls
 	return res, nil
 }
 

@@ -1,6 +1,7 @@
 package sim
 
 import (
+	"fmt"
 	"math"
 	"math/rand"
 
@@ -9,12 +10,27 @@ import (
 
 // routeChooser centralizes per-vehicle route selection for all routing
 // modes, so the meso and micro engines share one implementation.
+//
+// DynamicRouting evaluates routes against the link speeds observed at the
+// start of the current interval (the paper's 10-minute observation
+// granularity), which makes the chosen route a pure function of
+// (OD, interval). The chooser exploits that: the first vehicle of an OD in
+// an interval runs Dijkstra, every later vehicle reuses the cached route.
+// The engines call beginInterval at each interval boundary to snapshot the
+// speeds and invalidate the cache.
 type routeChooser struct {
 	net    *roadnet.Network
 	cfg    Config
 	ods    []ODNodes
 	static []roadnet.Route   // best free-flow route per OD
 	sets   [][]roadnet.Route // k candidates per OD (stochastic mode)
+
+	// Dynamic-mode state.
+	snapSpeed []float64 // interval-start speed snapshot
+	weight    func(linkID int) float64
+	cached    []roadnet.Route // per-OD route for the current interval
+	calls     int             // shortest-path computations issued
+	err       error           // sticky first routing error
 }
 
 // newRouteChooser precomputes the structures the configured mode needs.
@@ -22,41 +38,77 @@ func newRouteChooser(net *roadnet.Network, cfg Config, ods []ODNodes) (*routeCho
 	rc := &routeChooser{net: net, cfg: cfg, ods: ods}
 	rc.static = make([]roadnet.Route, len(ods))
 	for i, od := range ods {
+		rc.calls++
 		r, _, err := net.ShortestPath(od.Origin, od.Dest, nil, nil)
 		if err != nil {
 			return nil, err
 		}
 		rc.static[i] = r
 	}
-	if cfg.Routing == StochasticRouting {
+	switch cfg.Routing {
+	case StochasticRouting:
 		rc.sets = make([][]roadnet.Route, len(ods))
 		for i, od := range ods {
+			rc.calls++
 			routes, err := net.KShortestPaths(od.Origin, od.Dest, cfg.RouteChoiceK, nil)
 			if err != nil {
 				return nil, err
 			}
 			rc.sets[i] = routes
 		}
+	case DynamicRouting:
+		rc.snapSpeed = make([]float64, net.NumLinks())
+		rc.cached = make([]roadnet.Route, len(ods))
+		rc.weight = func(id int) float64 {
+			return rc.net.Links[id].Length / rc.snapSpeed[id]
+		}
 	}
 	return rc, nil
 }
 
+// beginInterval snapshots the current link speeds and invalidates the
+// dynamic route cache. Engines call it at every interval boundary.
+func (rc *routeChooser) beginInterval(curSpeed []float64) {
+	if rc.cfg.Routing != DynamicRouting {
+		return
+	}
+	copy(rc.snapSpeed, curSpeed)
+	for i := range rc.cached {
+		rc.cached[i] = nil
+	}
+}
+
 // choose picks a route for one vehicle of OD i. curSpeed gives the link
-// speeds at spawn time (used by dynamic and stochastic modes); rng drives
-// the stochastic draw.
-func (rc *routeChooser) choose(i int, curSpeed []float64, rng *rand.Rand) roadnet.Route {
+// speeds at spawn time (used by the stochastic mode; the dynamic mode reads
+// the interval-start snapshot instead); rng drives the stochastic draw.
+//
+// A Dijkstra failure in dynamic mode is returned to the caller — and cached,
+// so every vehicle of the run reports the same first error — rather than
+// silently degrading to the static route.
+func (rc *routeChooser) choose(i int, curSpeed []float64, rng *rand.Rand) (roadnet.Route, error) {
 	switch rc.cfg.Routing {
 	case DynamicRouting:
-		route, _, err := rc.net.ShortestPath(rc.ods[i].Origin, rc.ods[i].Dest,
-			func(id int) float64 { return rc.net.Links[id].Length / curSpeed[id] }, nil)
-		if err != nil {
-			return rc.static[i]
+		if rc.err != nil {
+			return nil, rc.err
 		}
-		return route
+		if r := rc.cached[i]; r != nil {
+			return r, nil
+		}
+		rc.calls++
+		route, _, err := rc.net.ShortestPath(rc.ods[i].Origin, rc.ods[i].Dest, rc.weight, nil)
+		if err != nil {
+			rc.err = fmt.Errorf("sim: dynamic route for OD %d (%d->%d): %w",
+				i, rc.ods[i].Origin, rc.ods[i].Dest, err)
+			return nil, rc.err
+		}
+		if !rc.cfg.disableRouteCache {
+			rc.cached[i] = route
+		}
+		return route, nil
 	case StochasticRouting:
-		return rc.logitChoice(rc.sets[i], curSpeed, rng)
+		return rc.logitChoice(rc.sets[i], curSpeed, rng), nil
 	default:
-		return rc.static[i]
+		return rc.static[i], nil
 	}
 }
 

@@ -44,9 +44,12 @@ const (
 	// StaticRouting precomputes the free-flow shortest route per OD pair —
 	// the paper's simplification that one OD maps to one route.
 	StaticRouting RoutingMode = iota
-	// DynamicRouting recomputes the fastest route at each vehicle's spawn
-	// using the currently observed link speeds ("people choose the shortest
-	// or fastest route based on real-time traffic conditions").
+	// DynamicRouting recomputes the fastest route using the link speeds
+	// observed at the start of the current interval ("people choose the
+	// shortest or fastest route based on real-time traffic conditions",
+	// observed at the paper's 10-minute granularity). Routes are therefore a
+	// pure function of (OD, interval): the engines compute Dijkstra once per
+	// OD per interval and share the route among that interval's spawns.
 	DynamicRouting
 	// StochasticRouting samples each vehicle's route from a logit model over
 	// the OD's k shortest routes, weighted by current travel times — the
@@ -94,6 +97,13 @@ type Config struct {
 	// the process-wide default (see internal/parallel), 1 forces serial
 	// execution. Results are identical at every setting.
 	Workers int
+
+	// disableRouteCache turns off the per-(OD, interval) dynamic route cache
+	// so every vehicle recomputes Dijkstra from the same interval-start
+	// speed snapshot. Results are identical either way — the cache only
+	// memoizes — which the in-package equivalence test verifies; it is
+	// unexported because it exists for that test and for benchmarking.
+	disableRouteCache bool
 }
 
 func (c Config) withDefaults() Config {
@@ -183,6 +193,11 @@ type Result struct {
 	Speed *tensor.Tensor
 	// Spawned counts vehicles that entered the network.
 	Spawned int
+	// DijkstraCalls counts single-source shortest-path computations issued by
+	// route choice: the static per-OD precompute plus, under DynamicRouting,
+	// one call per (OD, interval) actually spawned (or per vehicle when the
+	// route cache is disabled).
+	DijkstraCalls int
 	// Completed counts vehicles that reached their destination in-horizon.
 	Completed int
 	// TotalTravelSec sums travel time over completed vehicles.

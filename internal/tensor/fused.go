@@ -136,7 +136,8 @@ func ScaleInPlace(t *Tensor, s float64) *Tensor { return ScaleTo(t, t, s) }
 
 // MatMulTo computes the matrix product dst = a · b for rank-2 operands
 // (m×k)·(k×n)→(m×n) and returns dst. dst must not alias a or b; its prior
-// contents are overwritten.
+// contents are overwritten. It routes through the packed, cache-blocked GEMM
+// core (see gemm.go).
 func MatMulTo(dst, a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMulTo requires rank-2 operands, got %v x %v", a.shape, b.shape))
@@ -149,38 +150,14 @@ func MatMulTo(dst, a, b *Tensor) *Tensor {
 	if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTo output shape %v, want [%d %d]", dst.shape, m, n))
 	}
-	if grain := elemGrain(k * n); m <= grain {
-		matMulToRange(dst, a, b, k, n, 0, m)
-	} else {
-		parallel.For(m, grain, func(lo, hi int) { matMulToRange(dst, a, b, k, n, lo, hi) })
-	}
+	gemm(dst.Data, n, gemmView{a.Data, k, 1}, gemmView{b.Data, n, 1}, m, n, k, false)
 	return dst
-}
-
-func matMulToRange(dst, a, b *Tensor, k, n, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		orow := dst.Data[i*n : (i+1)*n]
-		for j := range orow {
-			orow[j] = 0
-		}
-		for kk := 0; kk < k; kk++ {
-			av := arow[kk]
-			//ovslint:ignore floateq exact-zero skip is a sparsity fast path; skipping a true zero cannot change the sum
-			if av == 0 {
-				continue
-			}
-			brow := b.Data[kk*n : (kk+1)*n]
-			for j := 0; j < n; j++ {
-				orow[j] += av * brow[j]
-			}
-		}
-	}
 }
 
 // MatMulNTAcc accumulates dst += a · bᵀ where a is (m×k), b is (n×k), and dst
 // is (m×n). It fuses the dL/dA = dL/dOut · Bᵀ backward rule of MatMul,
-// avoiding the transpose and product temporaries.
+// avoiding the transpose and product temporaries; the GEMM core absorbs the
+// transpose into B's packing strides.
 func MatMulNTAcc(dst, a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
 		panic(fmt.Sprintf("tensor: MatMulNTAcc requires rank-2 operands, got %v += %v x %vᵀ", dst.shape, a.shape, b.shape))
@@ -190,59 +167,24 @@ func MatMulNTAcc(dst, a, b *Tensor) *Tensor {
 	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulNTAcc shape mismatch %v += %v x %vᵀ", dst.shape, a.shape, b.shape))
 	}
-	if grain := elemGrain(k * n); m <= grain {
-		matMulNTAccRange(dst, a, b, k, n, 0, m)
-	} else {
-		parallel.For(m, grain, func(lo, hi int) { matMulNTAccRange(dst, a, b, k, n, lo, hi) })
-	}
+	gemm(dst.Data, n, gemmView{a.Data, k, 1}, gemmView{b.Data, 1, k}, m, n, k, true)
 	return dst
 }
 
-func matMulNTAccRange(dst, a, b *Tensor, k, n, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		arow := a.Data[i*k : (i+1)*k]
-		drow := dst.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			brow := b.Data[j*k : (j+1)*k]
-			s := 0.0
-			for kk := 0; kk < k; kk++ {
-				s += arow[kk] * brow[kk]
-			}
-			drow[j] += s
-		}
-	}
-}
-
 // MatMulTNAcc accumulates dst += aᵀ · b where a is (m×k), b is (m×n), and dst
-// is (k×n). It fuses the dL/dB = Aᵀ · dL/dOut backward rule of MatMul.
+// is (k×n). It fuses the dL/dB = Aᵀ · dL/dOut backward rule of MatMul; the
+// GEMM core absorbs the transpose into A's packing strides.
 func MatMulTNAcc(dst, a, b *Tensor) *Tensor {
 	if a.Rank() != 2 || b.Rank() != 2 || dst.Rank() != 2 {
-		panic(fmt.Sprintf("tensor: MatMulTNAcc requires rank-2 operands, got %v += %vᵀ x %v", dst.shape, a.shape, b.shape))
+		panic(fmt.Sprintf("tensor: MatMulTNAcc shape mismatch %v += %vᵀ x %v", dst.shape, a.shape, b.shape))
 	}
 	m, k := a.shape[0], a.shape[1]
 	m2, n := b.shape[0], b.shape[1]
 	if m != m2 || dst.shape[0] != k || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTNAcc shape mismatch %v += %vᵀ x %v", dst.shape, a.shape, b.shape))
 	}
-	if grain := elemGrain(m * n); k <= grain {
-		matMulTNAccRange(dst, a, b, m, k, n, 0, k)
-	} else {
-		parallel.For(k, grain, func(lo, hi int) { matMulTNAccRange(dst, a, b, m, k, n, lo, hi) })
-	}
+	gemm(dst.Data, n, gemmView{a.Data, 1, k}, gemmView{b.Data, n, 1}, k, n, m, true)
 	return dst
-}
-
-func matMulTNAccRange(dst, a, b *Tensor, m, k, n, lo, hi int) {
-	for i := lo; i < hi; i++ {
-		drow := dst.Data[i*n : (i+1)*n]
-		for j := 0; j < n; j++ {
-			s := 0.0
-			for r := 0; r < m; r++ {
-				s += a.Data[r*k+i] * b.Data[r*n+j]
-			}
-			drow[j] += s
-		}
-	}
 }
 
 // TransposeTo computes dst = aᵀ for a rank-2 tensor and returns dst. dst must

@@ -1,0 +1,435 @@
+package tensor
+
+import (
+	"math"
+
+	"ovs/internal/parallel"
+)
+
+// This file implements the packed, cache-blocked GEMM core behind every
+// matrix-product entry point (MatMul, MatMulTo, MatMulNTAcc, MatMulTNAcc).
+// The design is the classic BLIS/gemmlowp decomposition, restated for a pure
+// Go kernel:
+//
+//   - The operands are addressed through gemmView (a base slice plus logical
+//     row/column strides), so transposition is absorbed into packing index
+//     arithmetic — the inner loops never branch on a transpose flag.
+//   - B is packed into column micro-panels of width gemmNR and A into row
+//     micro-panels of height gemmMR, both laid out so the micro-kernel walks
+//     them with unit stride. Panels are sized to the cache blocking
+//     parameters (gemmKC, gemmNC, gemmMC) and drawn from the tensor arena, so
+//     a steady-state GEMM allocates nothing.
+//   - The micro-kernel holds a gemmMR×gemmNR accumulator tile in registers
+//     and advances along the packed K panel with one fused multiply-add per
+//     cell per step (math.FMA — a single correctly-rounded hardware
+//     instruction on amd64/arm64, with an exact softfloat fallback
+//     elsewhere, so results are identical across machines).
+//
+// Determinism and bitwise equivalence. Every output element C[i,j] receives
+// exactly the sequence
+//
+//	s = 0; s = fma(A[i,0], B[0,j], s); s = fma(A[i,1], B[1,j], s); ...
+//
+// in ascending k order, followed by a single store (overwrite) or a single
+// dst[i,j] += s (accumulate). K-panel boundaries only decide when the
+// running value parks between register residencies — in dst for overwrite,
+// in a zeroed scratch accumulator for accumulate — they never reorder or
+// reassociate the adds. The accumulate form must keep the k-sum separate
+// from dst: the autodiff Fork/Ref/Join path materializes a child gradient
+// (the bare k-sum) and adds it to the parent's, and gradient accumulation is
+// only worker-count-invariant if the direct path performs the same
+// "sum-then-one-add". The naive reference kernels below perform the
+// identical per-element sequence, so the blocked path is bitwise-equal to
+// the reference, and — because the parallel decomposition partitions
+// disjoint output row blocks whose boundaries depend only on the shape —
+// bitwise-identical at every worker count.
+
+const (
+	// gemmMR × gemmNR is the register tile: 32 independent FMA accumulator
+	// chains (8 vector accumulators of 4 lanes on amd64), enough to saturate
+	// two FMA pipes at 4-5 cycle latency. The amd64 micro-kernel holds the
+	// tile in 8 ymm registers; each K step is one B-vector load plus 8
+	// broadcast+FMA pairs.
+	gemmMR = 8
+	gemmNR = 4
+	// gemmKC is the K-panel depth: one packed A micro-panel (gemmMR×gemmKC)
+	// plus one packed B micro-panel (gemmKC×gemmNR) stay resident in L1
+	// while the micro-kernel runs (16 KiB + 8 KiB).
+	gemmKC = 256
+	// gemmNC bounds the packed B panel (gemmKC×gemmNC ≤ 512 KiB, L2-sized).
+	gemmNC = 256
+	// gemmMC is the output row-block height: one parallel chunk packs and
+	// consumes an A panel of gemmMC×gemmKC ≤ 64 KiB. It is also the unit of
+	// the deterministic 2D decomposition: chunk boundaries depend only on m.
+	gemmMC = 32
+)
+
+// gemmBlockedMin is the m·n·k threshold below which gemm runs the serial
+// naive kernels: packing two operands cannot pay for itself on tiny
+// products, and the training graph is dominated by small matmuls. It is a
+// variable (not a const) so the equivalence tests can force every shape
+// through the blocked path. Both paths compute the identical per-element FMA
+// sequence, so the dispatch never affects results, only speed.
+var gemmBlockedMin = parMinWork
+
+// gemmView addresses a logical matrix inside a flat slice: element (i, j)
+// lives at data[i*rs + j*cs]. A transposed operand is expressed by swapping
+// the strides, which confines transposition to packing arithmetic.
+type gemmView struct {
+	data   []float64
+	rs, cs int
+}
+
+// gemm computes dst (+)= A·B where A and B are logical m×k and k×n views and
+// dst is the row-major m×n output with leading dimension ldc. acc selects
+// accumulate (dst +=) over overwrite (dst =). The accumulate form computes
+// the product into a zeroed arena scratch block and folds it into dst with a
+// single add per element, preserving the "sum-then-one-add" association the
+// determinism argument above requires.
+func gemm(dst []float64, ldc int, a, b gemmView, m, n, k int, acc bool) {
+	if m*n*k < gemmBlockedMin {
+		gemmNaive(dst, ldc, a, b, m, n, k, acc)
+		return
+	}
+	if acc {
+		scratch := Get(m * n) // Get zero-fills
+		gemmBlocked(scratch.Data, n, a, b, m, n, k)
+		sd := scratch.Data
+		if ldc == n {
+			parallel.For(m*n, parMinWork, func(lo, hi int) {
+				for i := lo; i < hi; i++ {
+					dst[i] += sd[i]
+				}
+			})
+		} else {
+			for i := 0; i < m; i++ {
+				crow := dst[i*ldc : i*ldc+n]
+				srow := sd[i*n : (i+1)*n]
+				for j := range crow {
+					crow[j] += srow[j]
+				}
+			}
+		}
+		Put(scratch)
+		return
+	}
+	gemmBlocked(dst, ldc, a, b, m, n, k)
+}
+
+// gemmBlocked overwrites dst = A·B via the packed cache-blocked path.
+func gemmBlocked(dst []float64, ldc int, a, b gemmView, m, n, k int) {
+	mBlocks := (m + gemmMC - 1) / gemmMC
+	for jc := 0; jc < n; jc += gemmNC {
+		nc := min(gemmNC, n-jc)
+		ncPad := (nc + gemmNR - 1) / gemmNR * gemmNR
+		for pc := 0; pc < k; pc += gemmKC {
+			kc := min(gemmKC, k-pc)
+			// The first K panel starts its accumulators at zero; every later
+			// panel resumes from the value parked in dst.
+			load := pc > 0
+			bbuf := Get(kc * ncPad)
+			packB(bbuf.Data, b, pc, jc, kc, nc)
+			parallel.For(mBlocks, 1, func(lo, hi int) {
+				abuf := Get(gemmMC * kc)
+				for blk := lo; blk < hi; blk++ {
+					i0 := blk * gemmMC
+					mc := min(gemmMC, m-i0)
+					packA(abuf.Data, a, i0, pc, mc, kc)
+					gemmMacro(dst, ldc, abuf.Data, bbuf.Data, i0, jc, mc, nc, kc, load)
+				}
+				Put(abuf)
+			})
+			Put(bbuf)
+		}
+	}
+}
+
+// packB lays the B block (rows [pc, pc+kc), columns [jc, jc+nc)) into
+// micro-panels of gemmNR columns: panel jj/gemmNR holds kc rows of gemmNR
+// consecutive column values. Entries beyond nc exist in the layout but are
+// never read (the edge micro-kernel bounds its column loop), so they are not
+// cleared.
+func packB(dst []float64, b gemmView, pc, jc, kc, nc int) {
+	for jj := 0; jj < nc; jj += gemmNR {
+		nr := min(gemmNR, nc-jj)
+		out := dst[(jj/gemmNR)*kc*gemmNR:]
+		if nr == gemmNR && b.cs == 1 {
+			// Contiguous rows: copy four columns per K step directly.
+			for p := 0; p < kc; p++ {
+				src := b.data[(pc+p)*b.rs+jc+jj:]
+				o := out[p*gemmNR : p*gemmNR+4]
+				o[0], o[1], o[2], o[3] = src[0], src[1], src[2], src[3]
+			}
+		} else {
+			for p := 0; p < kc; p++ {
+				base := (pc+p)*b.rs + (jc+jj)*b.cs
+				for c := 0; c < nr; c++ {
+					out[p*gemmNR+c] = b.data[base+c*b.cs]
+				}
+			}
+		}
+	}
+}
+
+// packA lays the A block (rows [i0, i0+mc), columns [pc, pc+kc)) into
+// micro-panels of gemmMR rows: panel ii/gemmMR holds, for each of kc K
+// steps, gemmMR consecutive row values. Entries beyond mc are never read.
+func packA(dst []float64, a gemmView, i0, pc, mc, kc int) {
+	for ii := 0; ii < mc; ii += gemmMR {
+		mr := min(gemmMR, mc-ii)
+		out := dst[(ii/gemmMR)*kc*gemmMR:]
+		if mr == gemmMR && a.cs == 1 {
+			r0 := a.data[(i0+ii)*a.rs+pc:]
+			r1 := a.data[(i0+ii+1)*a.rs+pc:]
+			r2 := a.data[(i0+ii+2)*a.rs+pc:]
+			r3 := a.data[(i0+ii+3)*a.rs+pc:]
+			r4 := a.data[(i0+ii+4)*a.rs+pc:]
+			r5 := a.data[(i0+ii+5)*a.rs+pc:]
+			r6 := a.data[(i0+ii+6)*a.rs+pc:]
+			r7 := a.data[(i0+ii+7)*a.rs+pc:]
+			for p := 0; p < kc; p++ {
+				o := out[p*gemmMR : p*gemmMR+8]
+				o[0], o[1], o[2], o[3] = r0[p], r1[p], r2[p], r3[p]
+				o[4], o[5], o[6], o[7] = r4[p], r5[p], r6[p], r7[p]
+			}
+		} else {
+			for r := 0; r < mr; r++ {
+				base := (i0+ii+r)*a.rs + pc*a.cs
+				for p := 0; p < kc; p++ {
+					out[p*gemmMR+r] = a.data[base+p*a.cs]
+				}
+			}
+		}
+	}
+}
+
+// gemmMacro runs the micro-kernel over one packed A block × packed B panel,
+// covering output rows [i0, i0+mc) and columns [jc, jc+nc).
+func gemmMacro(dst []float64, ldc int, ap, bp []float64, i0, jc, mc, nc, kc int, load bool) {
+	for jj := 0; jj < nc; jj += gemmNR {
+		nr := min(gemmNR, nc-jj)
+		bpanel := bp[(jj/gemmNR)*kc*gemmNR:]
+		for ii := 0; ii < mc; ii += gemmMR {
+			mr := min(gemmMR, mc-ii)
+			apanel := ap[(ii/gemmMR)*kc*gemmMR:]
+			ctile := dst[(i0+ii)*ldc+jc+jj:]
+			switch {
+			case mr == gemmMR && nr == gemmNR && gemmHasAsm:
+				gemmMicroAsm(&ctile[0], ldc, &apanel[0], &bpanel[0], kc, load)
+			case mr == gemmMR && nr == gemmNR:
+				gemmMicroGo(ctile, ldc, apanel, bpanel, kc, load)
+			default:
+				gemmMicroEdge(ctile, ldc, apanel, bpanel, kc, mr, nr, load)
+			}
+		}
+	}
+}
+
+// gemmMicroGo is the portable full-tile inner kernel: the 8×4 accumulator
+// tile processed as two 4×4 halves so each half's 16 FMA chains plus operand
+// temporaries stay register-resident. Both halves read the same packed B
+// panel and the gemmMR-strided A panel, so the per-element FMA sequence is
+// identical to the amd64 vector kernel (VFMADD231PD lanes are the same
+// correctly-rounded IEEE operation as math.FMA).
+func gemmMicroGo(c []float64, ldc int, ap, bp []float64, kc int, load bool) {
+	gemmMicroGo4(c, ldc, ap, bp, kc, load)
+	gemmMicroGo4(c[4*ldc:], ldc, ap[4:], bp, kc, load)
+}
+
+// gemmMicroGo4 advances a 4×4 accumulator tile one K step at a time. The A
+// panel rows live at ap[p*gemmMR+r] (ap is pre-offset for the upper/lower
+// half); load selects whether the tile starts from dst (accumulate / later K
+// panel) or zero.
+func gemmMicroGo4(c []float64, ldc int, ap, bp []float64, kc int, load bool) {
+	var c00, c01, c02, c03 float64
+	var c10, c11, c12, c13 float64
+	var c20, c21, c22, c23 float64
+	var c30, c31, c32, c33 float64
+	if load {
+		r0 := c[0*ldc : 0*ldc+4]
+		r1 := c[1*ldc : 1*ldc+4]
+		r2 := c[2*ldc : 2*ldc+4]
+		r3 := c[3*ldc : 3*ldc+4]
+		c00, c01, c02, c03 = r0[0], r0[1], r0[2], r0[3]
+		c10, c11, c12, c13 = r1[0], r1[1], r1[2], r1[3]
+		c20, c21, c22, c23 = r2[0], r2[1], r2[2], r2[3]
+		c30, c31, c32, c33 = r3[0], r3[1], r3[2], r3[3]
+	}
+	for p := 0; p < kc; p++ {
+		av := ap[p*gemmMR : p*gemmMR+4]
+		bv := bp[p*gemmNR : p*gemmNR+4]
+		a0, a1, a2, a3 := av[0], av[1], av[2], av[3]
+		b0, b1, b2, b3 := bv[0], bv[1], bv[2], bv[3]
+		c00 = math.FMA(a0, b0, c00)
+		c01 = math.FMA(a0, b1, c01)
+		c02 = math.FMA(a0, b2, c02)
+		c03 = math.FMA(a0, b3, c03)
+		c10 = math.FMA(a1, b0, c10)
+		c11 = math.FMA(a1, b1, c11)
+		c12 = math.FMA(a1, b2, c12)
+		c13 = math.FMA(a1, b3, c13)
+		c20 = math.FMA(a2, b0, c20)
+		c21 = math.FMA(a2, b1, c21)
+		c22 = math.FMA(a2, b2, c22)
+		c23 = math.FMA(a2, b3, c23)
+		c30 = math.FMA(a3, b0, c30)
+		c31 = math.FMA(a3, b1, c31)
+		c32 = math.FMA(a3, b2, c32)
+		c33 = math.FMA(a3, b3, c33)
+	}
+	r0 := c[0*ldc : 0*ldc+4]
+	r1 := c[1*ldc : 1*ldc+4]
+	r2 := c[2*ldc : 2*ldc+4]
+	r3 := c[3*ldc : 3*ldc+4]
+	r0[0], r0[1], r0[2], r0[3] = c00, c01, c02, c03
+	r1[0], r1[1], r1[2], r1[3] = c10, c11, c12, c13
+	r2[0], r2[1], r2[2], r2[3] = c20, c21, c22, c23
+	r3[0], r3[1], r3[2], r3[3] = c30, c31, c32, c33
+}
+
+// gemmMicroEdge handles partial tiles at the right/bottom fringe. It reads
+// only the mr valid rows and nr valid columns of the packed panels, so the
+// unwritten padding lanes of the packing layout are never consumed.
+func gemmMicroEdge(c []float64, ldc int, ap, bp []float64, kc, mr, nr int, load bool) {
+	for r := 0; r < mr; r++ {
+		crow := c[r*ldc : r*ldc+nr]
+		for j := 0; j < nr; j++ {
+			var s float64
+			if load {
+				s = crow[j]
+			}
+			for p := 0; p < kc; p++ {
+				s = math.FMA(ap[p*gemmMR+r], bp[p*gemmNR+j], s)
+			}
+			crow[j] = s
+		}
+	}
+}
+
+// gemmNaive is the retained reference kernel: the plain triple loop with the
+// canonical per-element FMA sequence. It is both the small-size fast path
+// (packing cannot pay for itself under gemmBlockedMin) and the oracle the
+// equivalence tests compare the blocked path against. The three stride
+// patterns the entry points produce get cache-aware loop orders; the generic
+// fallback covers any other view.
+func gemmNaive(dst []float64, ldc int, a, b gemmView, m, n, k int, acc bool) {
+	if gemmHasAsm && n > 0 && k > 0 {
+		gemmNaiveAsm(dst, ldc, a, b, m, n, k, acc)
+		return
+	}
+	switch {
+	case !acc && a.cs == 1 && b.cs == 1:
+		gemmNaiveNN(dst, ldc, a, b, m, n, k)
+	case a.cs == 1 && b.rs == 1:
+		gemmNaiveNT(dst, ldc, a, b, m, n, k, acc)
+	default:
+		gemmNaiveGeneric(dst, ldc, a, b, m, n, k, acc)
+	}
+}
+
+// gemmNaiveAsm runs the small-size path through the FMA assembly helpers.
+// math.FMA compiled below GOAMD64=v3 pays a feature-dispatch branch on every
+// call, which dominates the tiny matmuls the training graph is made of; the
+// helpers issue the FMA instructions directly. The per-element chains are
+// identical to the portable kernels, so this is a speed-only dispatch.
+func gemmNaiveAsm(dst []float64, ldc int, a, b gemmView, m, n, k int, acc bool) {
+	if b.cs == 1 {
+		// Unit-stride output columns (MatMulTo's NN and MatMulTNAcc's TN
+		// orientations): the row kernel computes a full output row per call,
+		// vector lanes across columns, streaming B rows contiguously.
+		if !acc {
+			for i := 0; i < m; i++ {
+				gemmRowFMAAsm(&dst[i*ldc], &a.data[i*a.rs], a.cs, &b.data[0], b.rs, k, n)
+			}
+			return
+		}
+		// Accumulate: the bare k-sum lands in a scratch row, then one add per
+		// element (the sum-then-one-add association, as everywhere).
+		scratch := Get(n)
+		row := scratch.Data
+		for i := 0; i < m; i++ {
+			gemmRowFMAAsm(&row[0], &a.data[i*a.rs], a.cs, &b.data[0], b.rs, k, n)
+			crow := dst[i*ldc : i*ldc+n]
+			for j, s := range row[:n] {
+				crow[j] += s
+			}
+		}
+		Put(scratch)
+		return
+	}
+	// Strided output columns (MatMulNTAcc's NT orientation): one strided
+	// FMA-chain dot per element, both runs unit-stride in the NT case.
+	for i := 0; i < m; i++ {
+		crow := dst[i*ldc : i*ldc+n]
+		for j := 0; j < n; j++ {
+			s := gemmDotFMAAsm(&a.data[i*a.rs], a.cs, &b.data[j*b.cs], b.rs, k)
+			if acc {
+				crow[j] += s
+			} else {
+				crow[j] = s
+			}
+		}
+	}
+}
+
+// gemmNaiveNN: both operands row-major, overwrite only (MatMulTo). The ikj
+// order streams contiguous B rows; per element the k-ascending FMA sequence
+// is preserved because each k step applies exactly one FMA to each output
+// cell, starting from the zeroed row. The accumulate form cannot use ikj
+// (folding k steps directly into dst would break the sum-then-one-add
+// association), so acc products route through the dot-product kernels.
+func gemmNaiveNN(dst []float64, ldc int, a, b gemmView, m, n, k int) {
+	for i := 0; i < m; i++ {
+		arow := a.data[i*a.rs : i*a.rs+k]
+		crow := dst[i*ldc : i*ldc+n]
+		for j := range crow {
+			crow[j] = 0
+		}
+		for p, av := range arow {
+			brow := b.data[p*b.rs : p*b.rs+n]
+			for j, bv := range brow {
+				crow[j] = math.FMA(av, bv, crow[j])
+			}
+		}
+	}
+}
+
+// gemmNaiveNT: B is a transposed view with contiguous logical columns
+// (MatMulNTAcc). Each output cell is a dot product of two contiguous runs.
+func gemmNaiveNT(dst []float64, ldc int, a, b gemmView, m, n, k int, acc bool) {
+	for i := 0; i < m; i++ {
+		arow := a.data[i*a.rs : i*a.rs+k]
+		crow := dst[i*ldc : i*ldc+n]
+		for j := 0; j < n; j++ {
+			bcol := b.data[j*b.cs : j*b.cs+k]
+			var s float64
+			for p, av := range arow {
+				s = math.FMA(av, bcol[p], s)
+			}
+			if acc {
+				crow[j] += s
+			} else {
+				crow[j] = s
+			}
+		}
+	}
+}
+
+// gemmNaiveGeneric covers arbitrary strides (MatMulTNAcc reaches here: A is
+// a transposed view, B row-major).
+func gemmNaiveGeneric(dst []float64, ldc int, a, b gemmView, m, n, k int, acc bool) {
+	for i := 0; i < m; i++ {
+		crow := dst[i*ldc : i*ldc+n]
+		for j := 0; j < n; j++ {
+			var s float64
+			for p := 0; p < k; p++ {
+				s = math.FMA(a.data[i*a.rs+p*a.cs], b.data[p*b.rs+j*b.cs], s)
+			}
+			if acc {
+				crow[j] += s
+			} else {
+				crow[j] = s
+			}
+		}
+	}
+}

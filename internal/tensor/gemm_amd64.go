@@ -1,0 +1,50 @@
+//go:build amd64
+
+package tensor
+
+// gemmMicroAsm is the AVX2+FMA3 8×4 micro-kernel in gemm_amd64.s. It computes
+// the same per-element ascending-k FMA sequence as gemmMicroGo, with the four
+// column chains of each row carried in the lanes of one ymm accumulator.
+//
+//go:noescape
+func gemmMicroAsm(c *float64, ldc int, ap, bp *float64, kc int, load bool)
+
+// gemmRowFMAAsm computes one output row from zero: dst[j] = ascending-p FMA
+// chain of a[p*as]*b[p*bs+j] for j in [0, n). Vector lanes run across output
+// columns, so each element keeps its own scalar chain.
+//
+//go:noescape
+func gemmRowFMAAsm(dst, a *float64, as int, b *float64, bs int, k, n int)
+
+// gemmDotFMAAsm is the strided scalar FMA-chain dot product.
+//
+//go:noescape
+func gemmDotFMAAsm(a *float64, as int, b *float64, bs int, k int) float64
+
+func gemmCPUID(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
+
+func gemmXGETBV() (eax, edx uint32)
+
+// gemmHasAsm reports whether the vector micro-kernel may run: the CPU must
+// implement FMA3 and AVX, and the OS must have enabled saving the xmm/ymm
+// register state (OSXSAVE + XCR0 bits 1 and 2). Determined once at init; the
+// dispatch never changes mid-run, and both kernels are bitwise-identical, so
+// the choice affects speed only.
+var gemmHasAsm = func() bool {
+	const (
+		cpuidFMA     = 1 << 12
+		cpuidOSXSAVE = 1 << 27
+		cpuidAVX     = 1 << 28
+		xcr0SSEAVX   = 0x6 // xmm and ymm state enabled
+	)
+	maxID, _, _, _ := gemmCPUID(0, 0)
+	if maxID < 1 {
+		return false
+	}
+	_, _, ecx, _ := gemmCPUID(1, 0)
+	if ecx&cpuidFMA == 0 || ecx&cpuidOSXSAVE == 0 || ecx&cpuidAVX == 0 {
+		return false
+	}
+	lo, _ := gemmXGETBV()
+	return lo&xcr0SSEAVX == xcr0SSEAVX
+}()

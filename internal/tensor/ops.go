@@ -97,8 +97,9 @@ func MatMul(a, b *Tensor) *Tensor {
 	if k != k2 {
 		panic(fmt.Sprintf("tensor: MatMul inner dimensions differ: %v x %v", a.shape, b.shape))
 	}
-	// MatMulTo partitions over output rows with each row's ikj accumulation
-	// order unchanged, so the parallel product is bitwise-identical to serial.
+	// MatMulTo runs the packed blocked GEMM core, which partitions disjoint
+	// output row blocks with a fixed per-element accumulation order, so the
+	// parallel product is bitwise-identical to serial (see gemm.go).
 	return MatMulTo(New(m, n), a, b)
 }
 
