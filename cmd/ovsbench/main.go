@@ -23,10 +23,13 @@ import (
 	"encoding/json"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"os/exec"
 	"strconv"
 	"strings"
+
+	"ovs/internal/cliutil"
 )
 
 // Result is one benchmark line from `go test -bench -benchmem`.
@@ -159,7 +162,11 @@ func run(bench, benchtime, pkg, outPath string, gates []allocGate) error {
 	if err != nil {
 		return err
 	}
-	if err := os.WriteFile(outPath, append(enc, '\n'), 0o644); err != nil {
+	err = cliutil.WriteFileAtomic(outPath, func(w io.Writer) error {
+		_, werr := w.Write(append(enc, '\n'))
+		return werr
+	})
+	if err != nil {
 		return err
 	}
 	fmt.Fprintf(os.Stderr, "ovsbench: wrote %d results to %s\n", len(results), outPath)

@@ -21,6 +21,7 @@ package main
 
 import (
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -30,6 +31,7 @@ import (
 	"time"
 
 	"ovs/internal/cliutil"
+	"ovs/internal/core"
 	"ovs/internal/dataset"
 	"ovs/internal/experiment"
 	"ovs/internal/metrics"
@@ -54,6 +56,9 @@ func main() {
 	outPath := flag.String("o", "", "write the recovered TOD JSON here")
 	scaleName := flag.String("scale", "test", "effort: test|quick|full")
 	seed := flag.Int64("seed", 1, "seed")
+	ckptDir := flag.String("checkpoint-dir", "", "write crash-safe training checkpoints into this directory")
+	ckptEvery := flag.Int("ckpt-every", 5, "checkpoint every N epochs (with -checkpoint-dir)")
+	resume := flag.Bool("resume", false, "continue from the newest valid checkpoint in -checkpoint-dir")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
 	flag.Parse()
@@ -64,8 +69,12 @@ func main() {
 		os.Exit(1)
 	}
 
-	if err := run(*cityName, *train, *modelPath, *fitPath, *outPath, *scaleName, *seed); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	if err := run(*cityName, *train, *modelPath, *fitPath, *outPath, *scaleName, *seed, *ckptDir, *ckptEvery, *resume); err != nil {
+		if errors.Is(err, core.ErrInterrupted) {
+			fmt.Fprintf(os.Stderr, "interrupted: progress checkpointed in %s; rerun with -resume to continue\n", *ckptDir)
+		} else {
+			fmt.Fprintln(os.Stderr, err)
+		}
 		stopProfiles()
 		os.Exit(1)
 	}
@@ -112,7 +121,7 @@ func readObservation(path string) (*tensor.Tensor, error) {
 	return obs, nil
 }
 
-func run(cityName string, train bool, modelPath, fitPath, outPath, scaleName string, seed int64) error {
+func run(cityName string, train bool, modelPath, fitPath, outPath, scaleName string, seed int64, ckptDir string, ckptEvery int, resume bool) error {
 	var sc experiment.Scale
 	switch scaleName {
 	case "test":
@@ -123,6 +132,9 @@ func run(cityName string, train bool, modelPath, fitPath, outPath, scaleName str
 		sc = experiment.FullScale()
 	default:
 		return fmt.Errorf("unknown scale %q", scaleName)
+	}
+	if resume && ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
 	}
 	city, err := dataset.ByName(cityName, dataset.CityOptions{ODPairs: sc.ODPairs, Seed: seed})
 	if err != nil {
@@ -139,13 +151,26 @@ func run(cityName string, train bool, modelPath, fitPath, outPath, scaleName str
 
 	if train {
 		start := time.Now()
-		if _, err := model.TrainV2S(env.Samples, sc.V2SEpochs); err != nil {
-			return err
+		if ckptDir != "" {
+			ck, err := checkpointer(model, ckptDir, ckptEvery, resume)
+			if err != nil {
+				return err
+			}
+			if _, _, err := ck.TrainMappings(env.Samples, sc.V2SEpochs, sc.T2VEpochs); err != nil {
+				return err
+			}
+			if err := ck.Finish(core.StageTrained); err != nil {
+				return err
+			}
+		} else {
+			if _, err := model.TrainV2S(env.Samples, sc.V2SEpochs); err != nil {
+				return err
+			}
+			if _, err := model.TrainT2V(env.Samples, sc.T2VEpochs); err != nil {
+				return err
+			}
 		}
-		if _, err := model.TrainT2V(env.Samples, sc.T2VEpochs); err != nil {
-			return err
-		}
-		if err := cliutil.WriteFile(modelPath, model.Save); err != nil {
+		if err := cliutil.WriteFileAtomic(modelPath, model.Save); err != nil {
 			return err
 		}
 		fmt.Printf("trained %s mappings in %s, saved to %s\n",
@@ -187,9 +212,27 @@ func run(cityName string, train bool, modelPath, fitPath, outPath, scaleName str
 	}
 
 	start := time.Now()
-	rec, _, err := model.Fit(obs, sc.FitEpochs, nil)
-	if err != nil {
-		return err
+	var rec *tensor.Tensor
+	if ckptDir != "" {
+		// The checkpointer is created after model.Load so a resumed
+		// checkpoint's state (which includes the loaded mapping parameters)
+		// takes precedence over the model file.
+		ck, cerr := checkpointer(model, ckptDir, ckptEvery, resume)
+		if cerr != nil {
+			return cerr
+		}
+		rec, _, err = ck.FitBest(obs, sc.FitEpochs, 1, nil)
+		if err != nil {
+			return err
+		}
+		if err := ck.Finish(core.StageDone); err != nil {
+			return err
+		}
+	} else {
+		rec, _, err = model.Fit(obs, sc.FitEpochs, nil)
+		if err != nil {
+			return err
+		}
 	}
 	fmt.Printf("fitted TOD generator in %s\n", time.Since(start).Round(time.Millisecond))
 	if truth != nil {
@@ -205,10 +248,39 @@ func run(cityName string, train bool, modelPath, fitPath, outPath, scaleName str
 		if err != nil {
 			return err
 		}
-		if err := os.WriteFile(outPath, append(enc, '\n'), 0o644); err != nil {
-			return err
+		werr := cliutil.WriteFileAtomic(outPath, func(w io.Writer) error {
+			_, werr := w.Write(append(enc, '\n'))
+			return werr
+		})
+		if werr != nil {
+			return werr
 		}
 		fmt.Printf("wrote recovered TOD to %s\n", outPath)
 	}
 	return nil
+}
+
+// checkpointer builds the configured Checkpointer, wiring SIGINT to a
+// graceful stop, and resumes from the newest valid checkpoint when asked.
+func checkpointer(model *core.Model, dir string, every int, resume bool) (*core.Checkpointer, error) {
+	ck, err := core.NewCheckpointer(model, core.CkptOptions{
+		Dir:   dir,
+		Every: every,
+		Stop:  cliutil.NotifyInterrupt(),
+	})
+	if err != nil {
+		return nil, err
+	}
+	if resume {
+		from, err := ck.Resume()
+		if err != nil {
+			return nil, err
+		}
+		if from != "" {
+			fmt.Printf("resuming from %s\n", from)
+		} else {
+			fmt.Println("no valid checkpoint found; starting fresh")
+		}
+	}
+	return ck, nil
 }

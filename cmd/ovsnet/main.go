@@ -54,7 +54,7 @@ func main() {
 		printStats(net)
 	}
 	if *outPath != "" {
-		err := cliutil.WriteFile(*outPath, func(w io.Writer) error {
+		err := cliutil.WriteFileAtomic(*outPath, func(w io.Writer) error {
 			return trafficio.WriteNetwork(w, net)
 		})
 		if err != nil {

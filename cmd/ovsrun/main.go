@@ -9,6 +9,7 @@
 package main
 
 import (
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -16,8 +17,11 @@ import (
 	"time"
 
 	"ovs/internal/baselines"
+	"ovs/internal/cliutil"
+	"ovs/internal/core"
 	"ovs/internal/dataset"
 	"ovs/internal/experiment"
+	"ovs/internal/tensor"
 )
 
 func main() {
@@ -26,15 +30,22 @@ func main() {
 	method := flag.String("method", "OVS", "method: OVS|Gravity|Genetic|GLS|EM|NN|LSTM")
 	scaleName := flag.String("scale", "test", "effort: test|quick|full")
 	seed := flag.Int64("seed", 1, "seed")
+	ckptDir := flag.String("checkpoint-dir", "", "write crash-safe training checkpoints into this directory (OVS only)")
+	ckptEvery := flag.Int("ckpt-every", 5, "checkpoint every N epochs (with -checkpoint-dir)")
+	resume := flag.Bool("resume", false, "continue from the newest valid checkpoint in -checkpoint-dir")
 	flag.Parse()
 
-	if err := run(*cityName, *patternName, *method, *scaleName, *seed); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	if err := run(*cityName, *patternName, *method, *scaleName, *seed, *ckptDir, *ckptEvery, *resume); err != nil {
+		if errors.Is(err, core.ErrInterrupted) {
+			fmt.Fprintf(os.Stderr, "interrupted: progress checkpointed in %s; rerun with -resume to continue\n", *ckptDir)
+		} else {
+			fmt.Fprintln(os.Stderr, err)
+		}
 		os.Exit(1)
 	}
 }
 
-func run(cityName, patternName, method, scaleName string, seed int64) error {
+func run(cityName, patternName, method, scaleName string, seed int64, ckptDir string, ckptEvery int, resume bool) error {
 	var sc experiment.Scale
 	switch scaleName {
 	case "test":
@@ -75,11 +86,31 @@ func run(cityName, patternName, method, scaleName string, seed int64) error {
 		return err
 	}
 
+	if resume && ckptDir == "" {
+		return fmt.Errorf("-resume requires -checkpoint-dir")
+	}
+
 	start := time.Now()
 	if strings.EqualFold(method, "OVS") {
-		tod, _, elapsed, oerr := env.RunOVS(nil)
-		if oerr != nil {
-			return oerr
+		var tod *tensor.Tensor
+		var elapsed time.Duration
+		if ckptDir != "" {
+			opts := core.CkptOptions{Dir: ckptDir, Every: ckptEvery, Stop: cliutil.NotifyInterrupt()}
+			var resumedFrom string
+			var oerr error
+			tod, _, elapsed, resumedFrom, oerr = env.RunOVSCkpt(nil, opts, resume)
+			if resumedFrom != "" {
+				fmt.Printf("resumed from %s\n", resumedFrom)
+			}
+			if oerr != nil {
+				return oerr
+			}
+		} else {
+			var oerr error
+			tod, _, elapsed, oerr = env.RunOVS(nil)
+			if oerr != nil {
+				return oerr
+			}
 		}
 		fmt.Printf("OVS trained and fitted in %s\n", elapsed.Round(time.Millisecond))
 		triple, eerr := env.Evaluate(tod)

@@ -156,7 +156,7 @@ func run(cityName, gridSpec, netPath, demandPath, patternName string,
 	}
 
 	if outPath != "" {
-		return cliutil.WriteFile(outPath, func(w io.Writer) error {
+		return cliutil.WriteFileAtomic(outPath, func(w io.Writer) error {
 			return trafficio.WriteResult(w, res)
 		})
 	}

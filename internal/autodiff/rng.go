@@ -1,0 +1,72 @@
+package autodiff
+
+import "math/rand"
+
+// CountingSource is a math/rand Source64 whose position in the stream can be
+// checkpointed and restored. It delegates every draw to the standard
+// rand.NewSource generator — so the values are bit-identical to plain
+// rand.New(rand.NewSource(seed)) — while counting draws. The pair
+// (seed, draws) fully determines the remaining stream: Restore reseeds and
+// replays that many draws, which makes an interrupted training run's RNG
+// consumption (dropout masks, reseeds) reproducible after resume.
+//
+// The counting works because every public draw on the wrapping rand.Rand
+// advances the source a deterministic number of steps and rand.Rand itself
+// keeps no hidden state across calls (the one exception, Rand.Read, caches
+// partial words and must not be used with a checkpointed source).
+type CountingSource struct {
+	seed  int64
+	draws uint64
+	src   rand.Source64
+}
+
+// NewCountingSource returns a counting source seeded like rand.NewSource.
+func NewCountingSource(seed int64) *CountingSource {
+	return &CountingSource{seed: seed, src: newSource64(seed)}
+}
+
+func newSource64(seed int64) rand.Source64 {
+	src, ok := rand.NewSource(seed).(rand.Source64)
+	if !ok {
+		// Every math/rand source since Go 1.8 implements Source64. A silent
+		// fallback would change stream contents, so fail loudly instead.
+		panic("autodiff: rand.NewSource does not implement Source64")
+	}
+	return src
+}
+
+// Int63 draws the next value, advancing the draw counter.
+func (c *CountingSource) Int63() int64 {
+	c.draws++
+	return c.src.Int63()
+}
+
+// Uint64 draws the next value, advancing the draw counter.
+func (c *CountingSource) Uint64() uint64 {
+	c.draws++
+	return c.src.Uint64()
+}
+
+// Seed reseeds the source and resets the draw counter.
+func (c *CountingSource) Seed(seed int64) {
+	c.seed, c.draws = seed, 0
+	c.src.Seed(seed)
+}
+
+// State returns the seed and the number of values drawn since seeding —
+// everything a checkpoint needs to reproduce the source's position.
+func (c *CountingSource) State() (seed int64, draws uint64) {
+	return c.seed, c.draws
+}
+
+// Restore repositions the source exactly draws values into seed's stream by
+// reseeding and replaying. The standard source advances one internal step
+// per draw regardless of which method drew it, so replaying with Uint64
+// reproduces any mix of Int63/Uint64 consumption.
+func (c *CountingSource) Restore(seed int64, draws uint64) {
+	c.Seed(seed)
+	for i := uint64(0); i < draws; i++ {
+		c.src.Uint64()
+	}
+	c.draws = draws
+}

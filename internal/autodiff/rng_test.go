@@ -1,0 +1,84 @@
+package autodiff
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// The counting source must be a transparent wrapper: the stream through
+// rand.Rand is bit-identical to the plain standard source.
+func TestCountingSourceMatchesStandardStream(t *testing.T) {
+	a := rand.New(rand.NewSource(42))
+	b := rand.New(NewCountingSource(42))
+	for i := 0; i < 1000; i++ {
+		switch i % 4 {
+		case 0:
+			if x, y := a.Int63(), b.Int63(); x != y {
+				t.Fatalf("Int63 diverges at draw %d: %d vs %d", i, x, y)
+			}
+		case 1:
+			if x, y := a.Float64(), b.Float64(); x != y {
+				t.Fatalf("Float64 diverges at draw %d", i)
+			}
+		case 2:
+			if x, y := a.NormFloat64(), b.NormFloat64(); x != y {
+				t.Fatalf("NormFloat64 diverges at draw %d", i)
+			}
+		case 3:
+			if x, y := a.Uint64(), b.Uint64(); x != y {
+				t.Fatalf("Uint64 diverges at draw %d", i)
+			}
+		}
+	}
+}
+
+// Restoring (seed, draws) must continue the stream exactly where the
+// original left off, including through rand.Rand's variable-consumption
+// methods like NormFloat64 (ziggurat rejection draws a data-dependent number
+// of source values).
+func TestCountingSourceRestoreContinuesStream(t *testing.T) {
+	src := NewCountingSource(7)
+	rng := rand.New(src)
+	for i := 0; i < 500; i++ {
+		rng.NormFloat64()
+	}
+	seed, draws := src.State()
+	if draws < 500 {
+		t.Fatalf("draw counter %d below the 500 values drawn", draws)
+	}
+	want := make([]float64, 100)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+
+	restored := NewCountingSource(0)
+	restored.Restore(seed, draws)
+	rng2 := rand.New(restored)
+	for i := range want {
+		if got := rng2.NormFloat64(); got != want[i] {
+			t.Fatalf("restored stream diverges at %d", i)
+		}
+	}
+}
+
+func TestCountingSourceSeedResetsCounter(t *testing.T) {
+	src := NewCountingSource(1)
+	rng := rand.New(src)
+	rng.Int63()
+	rng.Int63()
+	if _, draws := src.State(); draws != 2 {
+		t.Fatalf("draws = %d after two Int63, want 2", draws)
+	}
+	src.Seed(9)
+	if seed, draws := src.State(); seed != 9 || draws != 0 {
+		t.Fatalf("state after Seed = (%d, %d), want (9, 0)", seed, draws)
+	}
+	// And the reseeded stream matches a fresh standard source.
+	a := rand.New(rand.NewSource(9))
+	b := rand.New(src)
+	for i := 0; i < 10; i++ {
+		if a.Int63() != b.Int63() {
+			t.Fatalf("reseeded stream diverges at %d", i)
+		}
+	}
+}

@@ -1,0 +1,289 @@
+package ckpt
+
+import (
+	"bytes"
+	"errors"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"ovs/internal/nn"
+)
+
+func sampleSnapshot(epoch int) *Snapshot {
+	return &Snapshot{
+		Stage: "v2s",
+		Epoch: epoch,
+		Loss:  []float64{3.5, 2.25, 1.125}[:min(epoch, 3)],
+		Params: []nn.ParamState{
+			{Name: "w", Shape: []int{2, 3}, Data: []float64{1, 2, 3, 4, 5, 6}},
+			{Name: "b", Shape: []int{3}, Data: []float64{0.5, -0.5, 0}},
+		},
+		Opt: &nn.OptimizerState{
+			Kind: "adam", Step: epoch, LR: 0.001, Beta1: 0.9, Beta2: 0.999, Eps: 1e-8,
+			Slots: []nn.SlotState{{Name: "w", M: make([]float64, 6), V: make([]float64, 6)}},
+		},
+		GenState: []TensorState{{Shape: []int{2, 2}, Data: []float64{1, 0, 0, 1}}},
+		RNGSeed:  42,
+		RNGDraws: uint64(epoch) * 17,
+	}
+}
+
+func min(a, b int) int {
+	if a < b {
+		return a
+	}
+	return b
+}
+
+func TestEncodeDecodeRoundTrip(t *testing.T) {
+	snap := sampleSnapshot(3)
+	snap.Version = Version
+	var buf bytes.Buffer
+	if err := Encode(&buf, snap); err != nil {
+		t.Fatalf("Encode: %v", err)
+	}
+	got, err := Decode(buf.Bytes())
+	if err != nil {
+		t.Fatalf("Decode: %v", err)
+	}
+	if !reflect.DeepEqual(got, snap) {
+		t.Fatalf("round trip mismatch:\n got %+v\nwant %+v", got, snap)
+	}
+}
+
+func TestDecodeRejectsCorruption(t *testing.T) {
+	snap := sampleSnapshot(2)
+	var buf bytes.Buffer
+	if err := Encode(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	valid := buf.Bytes()
+
+	flipped := append([]byte(nil), valid...)
+	flipped[len(flipped)-1] ^= 0x01
+	extended := append(append([]byte(nil), valid...), 'x')
+	badMagic := append([]byte(nil), valid...)
+	badMagic[0] = 'X'
+
+	cases := map[string][]byte{
+		"empty":            nil,
+		"short header":     valid[:headerSize-1],
+		"bit flip":         flipped,
+		"trailing garbage": extended,
+		"bad magic":        badMagic,
+	}
+	for name, raw := range cases {
+		if _, err := Decode(raw); err == nil {
+			t.Errorf("%s: Decode accepted corrupt input", name)
+		}
+	}
+}
+
+func TestDecodeRejectsWrongVersion(t *testing.T) {
+	snap := sampleSnapshot(1)
+	snap.Version = Version // Encode overrides nothing; set explicitly
+	var buf bytes.Buffer
+	if err := Encode(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(buf.Bytes()); err != nil {
+		t.Fatalf("valid version rejected: %v", err)
+	}
+
+	snap.Version = Version + 1
+	buf.Reset()
+	if err := Encode(&buf, snap); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := Decode(buf.Bytes()); err == nil {
+		t.Fatal("Decode accepted a future format version")
+	}
+}
+
+func TestWriterWritesAndLatestReads(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 1; epoch <= 2; epoch++ {
+		if _, err := w.Write(sampleSnapshot(epoch)); err != nil {
+			t.Fatalf("Write epoch %d: %v", epoch, err)
+		}
+	}
+	snap, path, err := Latest(dir)
+	if err != nil {
+		t.Fatalf("Latest: %v", err)
+	}
+	if snap.Epoch != 2 {
+		t.Fatalf("Latest returned epoch %d, want 2", snap.Epoch)
+	}
+	if path != Path(dir, 1) {
+		t.Fatalf("Latest path %q, want %q", path, Path(dir, 1))
+	}
+}
+
+func TestLatestEmptyAndMissingDir(t *testing.T) {
+	if _, _, err := Latest(filepath.Join(t.TempDir(), "absent")); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("missing dir: err = %v, want ErrNoCheckpoint", err)
+	}
+	if _, _, err := Latest(t.TempDir()); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("empty dir: err = %v, want ErrNoCheckpoint", err)
+	}
+}
+
+func TestLatestSkipsCorruptNewest(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(sampleSnapshot(1)); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := w.Write(sampleSnapshot(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Corrupt the newest checkpoint in place (simulated bit rot).
+	raw, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	raw[len(raw)-1] ^= 0xff
+	if err := os.WriteFile(p2, raw, 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	snap, _, err := Latest(dir)
+	if err != nil {
+		t.Fatalf("Latest with corrupt newest: %v", err)
+	}
+	if snap.Epoch != 1 {
+		t.Fatalf("Latest fell back to epoch %d, want 1", snap.Epoch)
+	}
+}
+
+// TestLatestNeverAcceptsTruncation is the crash-injection test: a checkpoint
+// truncated at EVERY byte offset — simulating a non-atomic write dying at any
+// point — must never be returned by Latest. With an older valid checkpoint
+// present, Latest must fall back to it at every offset.
+func TestLatestNeverAcceptsTruncation(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(sampleSnapshot(1)); err != nil {
+		t.Fatal(err)
+	}
+	p2, err := w.Write(sampleSnapshot(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := os.ReadFile(p2)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	for cut := 0; cut < len(full); cut++ {
+		if err := os.WriteFile(p2, full[:cut], 0o644); err != nil {
+			t.Fatal(err)
+		}
+		if _, err := Read(p2); err == nil {
+			t.Fatalf("Read accepted a checkpoint truncated to %d/%d bytes", cut, len(full))
+		}
+		snap, _, err := Latest(dir)
+		if err != nil {
+			t.Fatalf("truncation at %d: Latest failed instead of falling back: %v", cut, err)
+		}
+		if snap.Epoch != 1 {
+			t.Fatalf("truncation at %d: Latest returned epoch %d, want fallback epoch 1", cut, snap.Epoch)
+		}
+	}
+}
+
+func TestWriterRetention(t *testing.T) {
+	dir := t.TempDir()
+	w, err := NewWriter(dir, 2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for epoch := 1; epoch <= 5; epoch++ {
+		if _, err := w.Write(sampleSnapshot(epoch)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	seqs, err := list(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(seqs) != 2 || seqs[0] != 3 || seqs[1] != 4 {
+		t.Fatalf("retained seqs = %v, want [3 4]", seqs)
+	}
+	snap, _, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != 5 {
+		t.Fatalf("Latest after pruning returned epoch %d, want 5", snap.Epoch)
+	}
+}
+
+func TestWriterContinuesSequenceAcrossRestarts(t *testing.T) {
+	dir := t.TempDir()
+	w1, err := NewWriter(dir, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w1.Write(sampleSnapshot(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w1.Write(sampleSnapshot(2)); err != nil {
+		t.Fatal(err)
+	}
+
+	// A new writer (a resumed process) must not overwrite existing files.
+	w2, err := NewWriter(dir, 10)
+	if err != nil {
+		t.Fatal(err)
+	}
+	p, err := w2.Write(sampleSnapshot(3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p != Path(dir, 2) {
+		t.Fatalf("resumed writer wrote %q, want %q", p, Path(dir, 2))
+	}
+	snap, _, err := Latest(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if snap.Epoch != 3 {
+		t.Fatalf("Latest returned epoch %d, want 3", snap.Epoch)
+	}
+}
+
+func TestLatestIgnoresForeignFiles(t *testing.T) {
+	dir := t.TempDir()
+	for _, name := range []string{"notes.txt", "ckpt-abc.ovsckpt", "ckpt-.ovsckpt", "model.json"} {
+		if err := os.WriteFile(filepath.Join(dir, name), []byte("x"), 0o644); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if _, _, err := Latest(dir); !errors.Is(err, ErrNoCheckpoint) {
+		t.Fatalf("err = %v, want ErrNoCheckpoint", err)
+	}
+	w, err := NewWriter(dir, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := w.Write(sampleSnapshot(1)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := Latest(dir); err != nil {
+		t.Fatalf("Latest with foreign files alongside a valid checkpoint: %v", err)
+	}
+}

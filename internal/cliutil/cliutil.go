@@ -5,8 +5,11 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"os/signal"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
+	"sync"
 )
 
 // CloseWith closes c and, when closing fails while *errp is still nil,
@@ -39,6 +42,77 @@ func WriteFile(path string, write func(io.Writer) error) (err error) {
 	}
 	defer CloseWith(&err, f)
 	return write(f)
+}
+
+// WriteFileAtomic writes path so that a crash at any moment leaves either
+// the old contents or the complete new contents, never a truncated mix: the
+// data goes to a temporary file in the target directory, is fsynced, and the
+// temporary file is renamed over path, followed by a directory fsync so the
+// rename itself is durable. Use it for anything another process (or a resumed
+// run) will read back: model files, checkpoints, report JSON.
+func WriteFileAtomic(path string, write func(io.Writer) error) (err error) {
+	dir := filepath.Dir(path)
+	tmp, err := os.CreateTemp(dir, "."+filepath.Base(path)+".tmp-")
+	if err != nil {
+		return err
+	}
+	defer func() {
+		if err != nil {
+			tmp.Close()           //ovslint:ignore ignorederr best-effort cleanup; the earlier failure is already being returned (double close on some paths)
+			os.Remove(tmp.Name()) //ovslint:ignore ignorederr best-effort cleanup of the abandoned temp file
+		}
+	}()
+	if err = write(tmp); err != nil {
+		return err
+	}
+	if err = tmp.Sync(); err != nil {
+		return err
+	}
+	if err = tmp.Close(); err != nil {
+		return err
+	}
+	if err = os.Rename(tmp.Name(), path); err != nil {
+		return err
+	}
+	return syncDir(dir)
+}
+
+// syncDir fsyncs a directory so a just-completed rename survives power loss.
+func syncDir(dir string) (err error) {
+	d, err := os.Open(dir)
+	if err != nil {
+		return err
+	}
+	defer CloseWith(&err, d)
+	return d.Sync()
+}
+
+// NotifyInterrupt installs a SIGINT handler and returns a poll function that
+// reports (sticky, without blocking) whether an interrupt has arrived. Long
+// training loops poll it between epochs to write a final checkpoint and exit
+// cleanly instead of dying mid-write; the poll is safe to call from multiple
+// goroutines (concurrent fit restarts poll it too). After the first interrupt
+// is observed the handler is removed, so a second Ctrl-C kills the process
+// immediately — the escape hatch when the final checkpoint itself hangs.
+func NotifyInterrupt() func() bool {
+	ch := make(chan os.Signal, 1)
+	signal.Notify(ch, os.Interrupt)
+	var mu sync.Mutex
+	seen := false
+	return func() bool {
+		mu.Lock()
+		defer mu.Unlock()
+		if seen {
+			return true
+		}
+		select {
+		case <-ch:
+			seen = true
+			signal.Stop(ch)
+		default:
+		}
+		return seen
+	}
 }
 
 // ReadFile opens path, hands it to read, and closes it, returning the first

@@ -1,0 +1,92 @@
+package cliutil
+
+import (
+	"errors"
+	"io"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func TestWriteFileAtomicWritesContent(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		_, werr := io.WriteString(w, "payload")
+		return werr
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "payload" {
+		t.Fatalf("content = %q, want %q", got, "payload")
+	}
+}
+
+func TestWriteFileAtomicPreservesOldFileOnFailure(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "out.json")
+	if err := os.WriteFile(path, []byte("previous"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	boom := errors.New("mid-write failure")
+	err := WriteFileAtomic(path, func(w io.Writer) error {
+		if _, werr := io.WriteString(w, "half of the new conte"); werr != nil {
+			return werr
+		}
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want the injected write failure", err)
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "previous" {
+		t.Fatalf("old contents destroyed: %q", got)
+	}
+	// The abandoned temp file must not linger.
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp-") {
+			t.Fatalf("temp file %s left behind", e.Name())
+		}
+	}
+}
+
+func TestWriteFileAtomicOverwritesExisting(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "out.json")
+	for _, content := range []string{"first", "second, longer than first"} {
+		content := content
+		err := WriteFileAtomic(path, func(w io.Writer) error {
+			_, werr := io.WriteString(w, content)
+			return werr
+		})
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	got, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(got) != "second, longer than first" {
+		t.Fatalf("content = %q after overwrite", got)
+	}
+}
+
+func TestWriteFileAtomicMissingDirErrors(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "no-such-dir", "out.json")
+	err := WriteFileAtomic(path, func(io.Writer) error { return nil })
+	if err == nil {
+		t.Fatal("write into a missing directory did not error")
+	}
+}

@@ -119,6 +119,9 @@ type Model struct {
 	V2S    V2SModule
 
 	rng *rand.Rand
+	// rngSrc is the counting source behind rng; checkpoints record its
+	// (seed, draws) position so a resumed run replays the exact stream.
+	rngSrc *autodiff.CountingSource
 }
 
 // TODGenModule generates the TOD tensor (N × T) from internal seeds.
@@ -159,7 +162,11 @@ type V2SModule interface {
 // modules for the Table IX ablations.
 func NewModel(topo *Topology, cfg Config) *Model {
 	cfg = cfg.withDefaults()
-	rng := rand.New(rand.NewSource(cfg.Seed))
+	// The counting source is stream-transparent (bit-identical to a plain
+	// rand.NewSource(cfg.Seed)), so seeded behavior is unchanged; it exists so
+	// checkpoints can record and restore the RNG position.
+	src := autodiff.NewCountingSource(cfg.Seed)
+	rng := rand.New(src)
 	return &Model{
 		Cfg:    cfg,
 		Topo:   topo,
@@ -167,6 +174,7 @@ func NewModel(topo *Topology, cfg Config) *Model {
 		T2V:    NewAttentionT2V(topo, cfg, rng),
 		V2S:    NewLSTMV2S(topo, cfg, rng),
 		rng:    rng,
+		rngSrc: src,
 	}
 }
 

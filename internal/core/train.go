@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 	"math"
 	"math/rand"
@@ -11,21 +12,32 @@ import (
 	"ovs/internal/tensor"
 )
 
+// stageHook is called after every completed epoch of a resumable training
+// stage with the number of epochs done so far, the loss history, and the live
+// optimizer. Returning an error aborts the stage; the error (typically
+// ErrInterrupted) propagates to the caller with the partial history.
+type stageHook func(done int, hist []float64, opt nn.StatefulOptimizer) error
+
 // TrainV2S runs stage 1 of the Fig. 8 pipeline: fit the Volume-Speed
 // mapping on generated (volume, speed) pairs. It returns the per-epoch mean
 // loss curve.
 func (m *Model) TrainV2S(samples []Sample, epochs int) ([]float64, error) {
+	return m.trainV2S(samples, epochs, 0, nil, nn.NewAdam(m.Cfg.LR), nil)
+}
+
+// trainV2S is the resumable core of TrainV2S: it continues from start
+// completed epochs with the given optimizer and accumulated history.
+func (m *Model) trainV2S(samples []Sample, epochs, start int, hist []float64, opt *nn.Adam, hook stageHook) ([]float64, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("core: TrainV2S requires samples")
 	}
 	params := m.V2S.Params()
-	opt := nn.NewAdam(m.Cfg.LR)
-	history := make([]float64, 0, epochs)
+	history := hist
 	// One recycled graph serves every sample of every epoch: Reset returns
 	// the previous tape's tensors to the arena before each forward pass.
 	g := autodiff.NewGraph()
 	defer g.Release()
-	for e := 0; e < epochs; e++ {
+	for e := start; e < epochs; e++ {
 		total := 0.0
 		for _, s := range samples {
 			g.Reset()
@@ -40,6 +52,11 @@ func (m *Model) TrainV2S(samples []Sample, epochs int) ([]float64, error) {
 			nn.ZeroGrads(params)
 		}
 		history = append(history, total/float64(len(samples)))
+		if hook != nil {
+			if err := hook(e+1, history, opt); err != nil {
+				return history, err
+			}
+		}
 	}
 	return history, nil
 }
@@ -49,6 +66,11 @@ func (m *Model) TrainV2S(samples []Sample, epochs int) ([]float64, error) {
 // speed (plus optional direct volume supervision weighted by
 // Cfg.VolumeLossWeight; the paper's protocol corresponds to weight 0).
 func (m *Model) TrainT2V(samples []Sample, epochs int) ([]float64, error) {
+	return m.trainT2V(samples, epochs, 0, nil, nn.NewAdam(m.Cfg.LR), nil)
+}
+
+// trainT2V is the resumable core of TrainT2V (see trainV2S).
+func (m *Model) trainT2V(samples []Sample, epochs, start int, hist []float64, opt *nn.Adam, hook stageHook) ([]float64, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("core: TrainT2V requires samples")
 	}
@@ -58,12 +80,11 @@ func (m *Model) TrainT2V(samples []Sample, epochs int) ([]float64, error) {
 	restore := freezeParams(m.V2S.Params())
 	defer restore()
 	params := m.T2V.Params()
-	opt := nn.NewAdam(m.Cfg.LR)
-	history := make([]float64, 0, epochs)
+	history := hist
 	volNorm := 1.0 / m.Cfg.VolumeNorm
 	g := autodiff.NewGraph()
 	defer g.Release()
-	for e := 0; e < epochs; e++ {
+	for e := start; e < epochs; e++ {
 		total := 0.0
 		for _, s := range samples {
 			g.Reset()
@@ -85,6 +106,11 @@ func (m *Model) TrainT2V(samples []Sample, epochs int) ([]float64, error) {
 			nn.ZeroGrads(params)
 		}
 		history = append(history, total/float64(len(samples)))
+		if hook != nil {
+			if err := hook(e+1, history, opt); err != nil {
+				return history, err
+			}
+		}
 	}
 	return history, nil
 }
@@ -136,15 +162,19 @@ func (m *Model) Fit(speedObs *tensor.Tensor, epochs int, aux *AuxData) (*tensor.
 // calls on distinct generators may run concurrently (FitBest restarts);
 // callers must freeze those modules' parameters first.
 func (m *Model) fitGen(gen TODGenModule, speedObs *tensor.Tensor, epochs int, aux *AuxData) ([]float64, error) {
+	return m.fitGenFrom(gen, speedObs, epochs, 0, nil, nn.NewAdam(m.Cfg.LR), aux, nil)
+}
+
+// fitGenFrom is the resumable core of fitGen (see trainV2S).
+func (m *Model) fitGenFrom(gen TODGenModule, speedObs *tensor.Tensor, epochs, start int, hist []float64, opt *nn.Adam, aux *AuxData, hook stageHook) ([]float64, error) {
 	if speedObs.Rank() != 2 || speedObs.Dim(0) != m.Topo.M || speedObs.Dim(1) != m.Topo.T {
 		return nil, fmt.Errorf("core: Fit observation shape %v, want [%d %d]", speedObs.Shape(), m.Topo.M, m.Topo.T)
 	}
 	params := gen.Params()
-	opt := nn.NewAdam(m.Cfg.LR)
-	history := make([]float64, 0, epochs)
+	history := hist
 	g := autodiff.NewGraph()
 	defer g.Release()
-	for e := 0; e < epochs; e++ {
+	for e := start; e < epochs; e++ {
 		g.Reset()
 		tod := gen.Generate(g)
 		vol := m.T2V.MapVolume(g, tod, false)
@@ -167,6 +197,11 @@ func (m *Model) fitGen(gen TODGenModule, speedObs *tensor.Tensor, epochs int, au
 		}
 		opt.Step(params)
 		nn.ZeroGrads(params)
+		if hook != nil {
+			if err := hook(e+1, history, opt); err != nil {
+				return history, err
+			}
+		}
 	}
 	return history, nil
 }
@@ -317,6 +352,52 @@ func (m *Model) speedScore(gen TODGenModule, speedObs *tensor.Tensor, aux *AuxDa
 // state is installed into m.TODGen before returning, so m.GenerateTOD() and
 // Model.Save afterwards agree exactly with the returned tensor.
 func (m *Model) FitBest(speedObs *tensor.Tensor, epochs, restarts int, aux *AuxData) (*tensor.Tensor, []float64, error) {
+	return m.fitBest(speedObs, epochs, restarts, aux, nil)
+}
+
+// restartRecord is one completed restart's outcome: the generator's final
+// state tensors and the restart's loss history.
+type restartRecord struct {
+	state []*tensor.Tensor
+	hist  []float64
+}
+
+// restartCtl lets a checkpointing caller observe and steer a multi-restart
+// fit. Restarts listed in restored skip fitting and reuse the recorded
+// outcome; onDone reports each freshly completed restart (called from worker
+// goroutines — implementations synchronize internally); stop, polled before
+// and during each restart, requests a restart-granular interrupt. All fields
+// are optional.
+type restartCtl struct {
+	restored map[int]restartRecord
+	onDone   func(r int, state []*tensor.Tensor, hist []float64) error
+	stop     func() bool
+}
+
+func (c *restartCtl) stopped() bool {
+	return c != nil && c.stop != nil && c.stop()
+}
+
+// restartHook aborts a restart's fit between epochs once stop fires. The
+// partial restart is discarded — resume refits it from its entry state — so
+// nothing is recorded here.
+func (c *restartCtl) restartHook() stageHook {
+	if c == nil || c.stop == nil {
+		return nil
+	}
+	return func(done int, hist []float64, opt nn.StatefulOptimizer) error {
+		if c.stop() {
+			return ErrInterrupted
+		}
+		return nil
+	}
+}
+
+// fitBest is the controllable core of FitBest. With a nil ctl it behaves
+// exactly like the public method; a checkpointing caller passes a ctl to
+// restore completed restarts, record new ones, and interrupt cleanly (the
+// interrupt surfaces as ErrInterrupted with the model's entry state intact).
+func (m *Model) fitBest(speedObs *tensor.Tensor, epochs, restarts int, aux *AuxData, ctl *restartCtl) (*tensor.Tensor, []float64, error) {
 	if restarts <= 1 {
 		return m.Fit(speedObs, epochs, aux)
 	}
@@ -326,7 +407,10 @@ func (m *Model) FitBest(speedObs *tensor.Tensor, epochs, restarts int, aux *AuxD
 
 	if cl, ok := m.TODGen.(CloneableTODGen); ok {
 		// Concurrent path: every restart fits its own deep copy; the shared
-		// T2V/V2S modules are frozen, hence read-only and race-free.
+		// T2V/V2S modules are frozen, hence read-only and race-free. The
+		// reseeds for all restarts are drawn serially here, so the start set —
+		// and any checkpointed subset of it — is identical at any worker
+		// count.
 		gens := make([]TODGenModule, restarts)
 		for r := range gens {
 			gens[r] = cl.CloneTODGen()
@@ -336,15 +420,43 @@ func (m *Model) FitBest(speedObs *tensor.Tensor, epochs, restarts int, aux *AuxD
 		}
 		hists := make([][]float64, restarts)
 		errs := make([]error, restarts)
+		skipped := make([]bool, restarts)
 		fns := make([]func(), restarts)
 		for r := range fns {
 			r := r
-			fns[r] = func() { hists[r], errs[r] = m.fitGen(gens[r], speedObs, epochs, aux) }
+			fns[r] = func() {
+				if ctl != nil {
+					if rec, ok := ctl.restored[r]; ok {
+						copyStateTensors(gens[r].StateTensors(), rec.state)
+						hists[r] = rec.hist
+						return
+					}
+				}
+				if ctl.stopped() {
+					skipped[r] = true
+					return
+				}
+				hists[r], errs[r] = m.fitGenFrom(gens[r], speedObs, epochs, 0, nil, nn.NewAdam(m.Cfg.LR), aux, ctl.restartHook())
+				if errs[r] != nil {
+					if errors.Is(errs[r], ErrInterrupted) {
+						skipped[r], errs[r] = true, nil
+					}
+					return
+				}
+				if ctl != nil && ctl.onDone != nil {
+					errs[r] = ctl.onDone(r, gens[r].StateTensors(), hists[r])
+				}
+			}
 		}
 		parallel.Run(m.Cfg.Workers, fns...)
 		for _, err := range errs {
 			if err != nil {
 				return nil, nil, err
+			}
+		}
+		for _, s := range skipped {
+			if s {
+				return nil, nil, ErrInterrupted
 			}
 		}
 		best, bestScore := -1, math.Inf(1)
@@ -359,6 +471,8 @@ func (m *Model) FitBest(speedObs *tensor.Tensor, epochs, restarts int, aux *AuxD
 
 	// Serial fallback for generators without cloning: snapshot the entry
 	// state, fit in place per restart, and restore the winner at the end.
+	// Reseed always runs — also for restored or interrupted restarts — so the
+	// reseed stream stays aligned with an uninterrupted run.
 	entry := cloneTensors(m.TODGen.StateTensors())
 	var bestState []*tensor.Tensor
 	var bestHist []float64
@@ -368,9 +482,28 @@ func (m *Model) FitBest(speedObs *tensor.Tensor, epochs, restarts int, aux *AuxD
 		if r > 0 {
 			m.TODGen.Reseed(rng)
 		}
-		hist, err := m.fitGen(m.TODGen, speedObs, epochs, aux)
-		if err != nil {
-			return nil, nil, err
+		var hist []float64
+		if rec, ok := restoredOf(ctl, r); ok {
+			copyStateTensors(m.TODGen.StateTensors(), rec.state)
+			hist = rec.hist
+		} else {
+			if ctl.stopped() {
+				copyStateTensors(m.TODGen.StateTensors(), entry)
+				return nil, nil, ErrInterrupted
+			}
+			var err error
+			hist, err = m.fitGenFrom(m.TODGen, speedObs, epochs, 0, nil, nn.NewAdam(m.Cfg.LR), aux, ctl.restartHook())
+			if err != nil {
+				if errors.Is(err, ErrInterrupted) {
+					copyStateTensors(m.TODGen.StateTensors(), entry)
+				}
+				return nil, nil, err
+			}
+			if ctl != nil && ctl.onDone != nil {
+				if derr := ctl.onDone(r, m.TODGen.StateTensors(), hist); derr != nil {
+					return nil, nil, derr
+				}
+			}
 		}
 		if score := m.speedScore(m.TODGen, speedObs, aux); best < 0 || score < bestScore {
 			best, bestScore = r, score
@@ -380,6 +513,15 @@ func (m *Model) FitBest(speedObs *tensor.Tensor, epochs, restarts int, aux *AuxD
 	}
 	copyStateTensors(m.TODGen.StateTensors(), bestState)
 	return m.GenerateTOD(), bestHist, nil
+}
+
+// restoredOf looks up a restored restart record on an optional ctl.
+func restoredOf(ctl *restartCtl, r int) (restartRecord, bool) {
+	if ctl == nil {
+		return restartRecord{}, false
+	}
+	rec, ok := ctl.restored[r]
+	return rec, ok
 }
 
 // cloneTensors deep-copies a state-tensor list.

@@ -201,6 +201,36 @@ func (e *Env) runOVSVariant(ab core.Ablation, aux *core.AuxData) (*tensor.Tensor
 	return rec, m, time.Since(start), nil
 }
 
+// RunOVSCkpt is RunOVS with fault-tolerant checkpointing: the pipeline
+// snapshots its state into opts.Dir as it goes and, when resume is set,
+// continues from the newest valid checkpoint instead of starting over. It
+// returns the path of the checkpoint resumed from ("" when starting fresh).
+// An opts.Stop interrupt surfaces as core.ErrInterrupted after a final
+// checkpoint is written.
+func (e *Env) RunOVSCkpt(aux *core.AuxData, opts core.CkptOptions, resume bool) (*tensor.Tensor, *core.Model, time.Duration, string, error) {
+	m, err := e.BuildOVS()
+	if err != nil {
+		return nil, nil, 0, "", err
+	}
+	c, err := core.NewCheckpointer(m, opts)
+	if err != nil {
+		return nil, nil, 0, "", err
+	}
+	resumedFrom := ""
+	if resume {
+		resumedFrom, err = c.Resume()
+		if err != nil {
+			return nil, nil, 0, "", err
+		}
+	}
+	start := time.Now() //ovslint:ignore globalrand wall-clock timing is reported but never feeds fitted results
+	res, err := c.TrainFull(e.Samples, e.GT.Speed, e.Scale.V2SEpochs, e.Scale.T2VEpochs, e.Scale.FitEpochs, aux)
+	if err != nil {
+		return nil, nil, 0, resumedFrom, fmt.Errorf("experiment: OVS: %w", err)
+	}
+	return res.TOD, m, time.Since(start), resumedFrom, nil
+}
+
 // Methods returns the six baselines configured at the environment's scale.
 func (e *Env) Methods() []baselines.Method {
 	sc := e.Scale

@@ -6,6 +6,7 @@ import (
 	"bytes"
 	"errors"
 	"fmt"
+	"os"
 	"strings"
 )
 
@@ -47,4 +48,22 @@ func exemptWriters(buf *bytes.Buffer, sb *strings.Builder) {
 
 func suppressedCall() {
 	mightFail() //ovslint:ignore ignorederr fixture demonstrating an audited suppression
+}
+
+// Durability syscalls are the error paths that matter most for crash-safe
+// writes: a dropped Sync or Rename error means a checkpoint that looks
+// written but may not survive power loss. The analyzer must flag them like
+// any other error-returning call.
+func durabilityPaths(f *os.File) {
+	f.Sync()                      // want "discards its error result"
+	os.Rename("ckpt.tmp", "ckpt") // want "discards its error result"
+	_ = f.Sync()                  // want "error discarded with blank identifier"
+	_ = os.Rename("a.tmp", "a")   // want "error discarded with blank identifier"
+}
+
+func durabilityHandled(f *os.File) error {
+	if err := f.Sync(); err != nil {
+		return err
+	}
+	return os.Rename("ckpt.tmp", "ckpt")
 }

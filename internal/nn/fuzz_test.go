@@ -1,0 +1,52 @@
+package nn
+
+import (
+	"bytes"
+	"testing"
+
+	"ovs/internal/autodiff"
+	"ovs/internal/tensor"
+)
+
+// FuzzLoadParams drives the parameter loader with arbitrary documents. The
+// loader must never panic — corrupt JSON, shape/length mismatches, negative
+// dimensions and duplicate names all have to surface as errors — and a
+// failed load must leave the target parameters untouched (no half-applied
+// state from a partially valid stream).
+func FuzzLoadParams(f *testing.F) {
+	// A valid stream for the fuzz target's parameter set.
+	f.Add([]byte(`[{"name":"w","shape":[2,3],"data":[1,2,3,4,5,6]},{"name":"b","shape":[3],"data":[0,0,0]}]`))
+	// Length disagrees with shape.
+	f.Add([]byte(`[{"name":"w","shape":[2,3],"data":[1,2]},{"name":"b","shape":[3],"data":[0,0,0]}]`))
+	// Negative dimension.
+	f.Add([]byte(`[{"name":"w","shape":[-2,-3],"data":[1,2,3,4,5,6]},{"name":"b","shape":[3],"data":[0,0,0]}]`))
+	// Huge dimensions whose product overflows int64.
+	f.Add([]byte(`[{"name":"w","shape":[4611686018427387904,4],"data":[]},{"name":"b","shape":[3],"data":[0,0,0]}]`))
+	// Duplicate names (last record would silently win in a naive loader).
+	f.Add([]byte(`[{"name":"w","shape":[2,3],"data":[1,2,3,4,5,6]},{"name":"w","shape":[2,3],"data":[9,9,9,9,9,9]},{"name":"b","shape":[3],"data":[0,0,0]}]`))
+	// Truncated document and non-array JSON.
+	f.Add([]byte(`[{"name":"w","shape":[2,3],"data":[1,2,3`))
+	f.Add([]byte(`{"name":"w"}`))
+	f.Add([]byte(``))
+	f.Fuzz(func(t *testing.T, data []byte) {
+		params := []*autodiff.Parameter{
+			autodiff.NewParameter("w", tensor.FromSlice([]float64{1, 2, 3, 4, 5, 6}, 2, 3)),
+			autodiff.NewParameter("b", tensor.FromSlice([]float64{7, 8, 9}, 3)),
+		}
+		before := make([][]float64, len(params))
+		for i, p := range params {
+			before[i] = append([]float64(nil), p.Value.Data...)
+		}
+		if err := LoadParams(bytes.NewReader(data), params); err != nil {
+			// A failed load must be all-or-nothing: no parameter may have
+			// changed.
+			for i, p := range params {
+				for j, v := range p.Value.Data {
+					if v != before[i][j] {
+						t.Fatalf("failed load mutated parameter %q", p.Name)
+					}
+				}
+			}
+		}
+	})
+}

@@ -1,6 +1,7 @@
 package nn
 
 import (
+	"fmt"
 	"math"
 
 	"ovs/internal/autodiff"
@@ -12,6 +13,82 @@ type Optimizer interface {
 	// Step applies one update and leaves gradients intact; callers typically
 	// follow it with ZeroGrads.
 	Step(params []*autodiff.Parameter)
+}
+
+// OptimizerState is the serializable snapshot of an optimizer's slot-slice
+// state: the step counter, the hyperparameters, and the per-parameter moment
+// tensors keyed by parameter name. A checkpointed training run restored with
+// ImportState continues bitwise-identically to one that never stopped.
+type OptimizerState struct {
+	Kind     string      `json:"kind"` // "adam" | "sgd"
+	Step     int         `json:"step,omitempty"`
+	LR       float64     `json:"lr"`
+	Beta1    float64     `json:"beta1,omitempty"`
+	Beta2    float64     `json:"beta2,omitempty"`
+	Eps      float64     `json:"eps,omitempty"`
+	Momentum float64     `json:"momentum,omitempty"`
+	Slots    []SlotState `json:"slots,omitempty"`
+}
+
+// SlotState is one parameter's optimizer slot: M is Adam's first moment (or
+// SGD's velocity), V is Adam's second moment.
+type SlotState struct {
+	Name string    `json:"name"`
+	M    []float64 `json:"m,omitempty"`
+	V    []float64 `json:"v,omitempty"`
+}
+
+// StatefulOptimizer is an optimizer whose full state can be exported into a
+// checkpoint and restored later.
+type StatefulOptimizer interface {
+	Optimizer
+	// ExportState snapshots the optimizer against its current slot binding.
+	// Slot data is copied, so the snapshot is stable while training continues.
+	ExportState() OptimizerState
+	// ImportState replaces the optimizer's state with st, rebinding the slots
+	// to params. Every stored slot must name a parameter in params with a
+	// matching element count; validation happens before any state is applied.
+	ImportState(st OptimizerState, params []*autodiff.Parameter) error
+}
+
+// slotIndex maps parameter names to positions, erroring on duplicates so a
+// corrupt checkpoint cannot silently bind two slots to one parameter.
+func slotIndex(params []*autodiff.Parameter) (map[string]int, error) {
+	idx := make(map[string]int, len(params))
+	for i, p := range params {
+		if _, dup := idx[p.Name]; dup {
+			return nil, fmt.Errorf("nn: duplicate parameter name %q", p.Name)
+		}
+		idx[p.Name] = i
+	}
+	return idx, nil
+}
+
+// validateSlots checks every slot against the parameter index before any
+// import mutates optimizer state.
+func validateSlots(kind string, slots []SlotState, params []*autodiff.Parameter, idx map[string]int, wantV bool) error {
+	seen := make(map[string]bool, len(slots))
+	for _, s := range slots {
+		if seen[s.Name] {
+			return fmt.Errorf("nn: %s state holds duplicate slot %q", kind, s.Name)
+		}
+		seen[s.Name] = true
+		i, ok := idx[s.Name]
+		if !ok {
+			return fmt.Errorf("nn: %s state holds slot for unknown parameter %q", kind, s.Name)
+		}
+		n := len(params[i].Value.Data)
+		if len(s.M) != n {
+			return fmt.Errorf("nn: %s slot %q has %d values, parameter has %d", kind, s.Name, len(s.M), n)
+		}
+		if wantV && len(s.V) != n {
+			return fmt.Errorf("nn: %s slot %q second moment has %d values, parameter has %d", kind, s.Name, len(s.V), n)
+		}
+		if !wantV && len(s.V) != 0 {
+			return fmt.Errorf("nn: %s slot %q carries a second moment", kind, s.Name)
+		}
+	}
+	return nil
 }
 
 // ZeroGrads clears the gradients of all given parameters.
@@ -122,6 +199,47 @@ func (s *SGD) Step(params []*autodiff.Parameter) {
 	}
 }
 
+// ExportState snapshots the velocity slots keyed by parameter name.
+func (s *SGD) ExportState() OptimizerState {
+	st := OptimizerState{Kind: "sgd", LR: s.LR, Momentum: s.Momentum}
+	for i, p := range s.params {
+		if s.velocity[i] == nil {
+			continue
+		}
+		st.Slots = append(st.Slots, SlotState{
+			Name: p.Name,
+			M:    append([]float64(nil), s.velocity[i].Data...),
+		})
+	}
+	return st
+}
+
+// ImportState restores a snapshot produced by ExportState, rebinding the
+// velocity slots to params.
+func (s *SGD) ImportState(st OptimizerState, params []*autodiff.Parameter) error {
+	if st.Kind != "sgd" {
+		return fmt.Errorf("nn: SGD cannot import %q state", st.Kind)
+	}
+	idx, err := slotIndex(params)
+	if err != nil {
+		return err
+	}
+	if err := validateSlots("sgd", st.Slots, params, idx, false); err != nil {
+		return err
+	}
+	s.LR = st.LR
+	s.Momentum = st.Momentum
+	s.params = append([]*autodiff.Parameter(nil), params...)
+	s.velocity = make([]*tensor.Tensor, len(params))
+	for _, slot := range st.Slots {
+		i := idx[slot.Name]
+		v := tensor.New(params[i].Value.Shape()...)
+		copy(v.Data, slot.M)
+		s.velocity[i] = v
+	}
+	return nil
+}
+
 // Adam implements the Adam optimizer (Kingma & Ba). The paper trains with
 // learning rate 0.001 (Table V), Adam's default. Moment state lives in slot
 // slices parallel to the parameter list (see SGD); the per-element update is
@@ -179,4 +297,51 @@ func (a *Adam) Step(params []*autodiff.Parameter) {
 		}
 		tensor.AdamStepInPlace(p.Value, p.Grad, m, a.v[i], a.LR, a.Beta1, a.Beta2, a.Eps, bc1, bc2)
 	}
+}
+
+// ExportState snapshots the step counter and moment slots keyed by parameter
+// name.
+func (a *Adam) ExportState() OptimizerState {
+	st := OptimizerState{Kind: "adam", Step: a.step, LR: a.LR, Beta1: a.Beta1, Beta2: a.Beta2, Eps: a.Eps}
+	for i, p := range a.params {
+		if a.m[i] == nil {
+			continue
+		}
+		st.Slots = append(st.Slots, SlotState{
+			Name: p.Name,
+			M:    append([]float64(nil), a.m[i].Data...),
+			V:    append([]float64(nil), a.v[i].Data...),
+		})
+	}
+	return st
+}
+
+// ImportState restores a snapshot produced by ExportState, rebinding the
+// moment slots to params. The step counter is restored too, so bias
+// correction continues exactly where the exported run left off.
+func (a *Adam) ImportState(st OptimizerState, params []*autodiff.Parameter) error {
+	if st.Kind != "adam" {
+		return fmt.Errorf("nn: Adam cannot import %q state", st.Kind)
+	}
+	idx, err := slotIndex(params)
+	if err != nil {
+		return err
+	}
+	if err := validateSlots("adam", st.Slots, params, idx, true); err != nil {
+		return err
+	}
+	a.LR, a.Beta1, a.Beta2, a.Eps = st.LR, st.Beta1, st.Beta2, st.Eps
+	a.step = st.Step
+	a.params = append([]*autodiff.Parameter(nil), params...)
+	a.m = make([]*tensor.Tensor, len(params))
+	a.v = make([]*tensor.Tensor, len(params))
+	for _, slot := range st.Slots {
+		i := idx[slot.Name]
+		m := tensor.New(params[i].Value.Shape()...)
+		copy(m.Data, slot.M)
+		v := tensor.New(params[i].Value.Shape()...)
+		copy(v.Data, slot.V)
+		a.m[i], a.v[i] = m, v
+	}
+	return nil
 }

@@ -202,3 +202,115 @@ func TestOptimizerRebindPreservesState(t *testing.T) {
 		}
 	}
 }
+
+// refreshGrads redraws deterministic gradients so successive steps differ.
+func refreshGrads(ps []*autodiff.Parameter, seed int64) {
+	rng := rand.New(rand.NewSource(seed))
+	for _, p := range ps {
+		for i := range p.Grad.Data {
+			p.Grad.Data[i] = rng.NormFloat64()
+		}
+	}
+}
+
+// An optimizer whose state is exported after k steps and imported into a
+// fresh instance must continue bitwise-identically to one that never
+// stopped — the property checkpoint resume is built on.
+func TestAdamExportImportContinuesIdentically(t *testing.T) {
+	cont := optimParams(11)
+	res := optimParams(11)
+	a1 := NewAdam(0.01)
+	a2 := NewAdam(0.01)
+	for step := 0; step < 3; step++ {
+		refreshGrads(cont, int64(100+step))
+		refreshGrads(res, int64(100+step))
+		a1.Step(cont)
+		a2.Step(res)
+	}
+	st := a2.ExportState()
+	if st.Kind != "adam" || st.Step != 3 || len(st.Slots) != 2 {
+		t.Fatalf("export = kind %q step %d slots %d", st.Kind, st.Step, len(st.Slots))
+	}
+	a3 := NewAdam(0.5) // wrong LR on purpose: import must restore the exported one
+	if err := a3.ImportState(st, res); err != nil {
+		t.Fatal(err)
+	}
+	for step := 3; step < 6; step++ {
+		refreshGrads(cont, int64(100+step))
+		refreshGrads(res, int64(100+step))
+		a1.Step(cont)
+		a3.Step(res)
+	}
+	for i := range cont {
+		for j, v := range cont[i].Value.Data {
+			if res[i].Value.Data[j] != v {
+				t.Fatalf("resumed Adam diverges on %q[%d]: %v vs %v",
+					cont[i].Name, j, res[i].Value.Data[j], v)
+			}
+		}
+	}
+}
+
+func TestSGDExportImportContinuesIdentically(t *testing.T) {
+	cont := optimParams(12)
+	res := optimParams(12)
+	s1 := NewSGD(0.05, 0.9)
+	s2 := NewSGD(0.05, 0.9)
+	for step := 0; step < 3; step++ {
+		refreshGrads(cont, int64(200+step))
+		refreshGrads(res, int64(200+step))
+		s1.Step(cont)
+		s2.Step(res)
+	}
+	st := s2.ExportState()
+	if st.Kind != "sgd" || len(st.Slots) != 2 {
+		t.Fatalf("export = kind %q slots %d", st.Kind, len(st.Slots))
+	}
+	s3 := NewSGD(1, 0) // wrong hyperparameters on purpose
+	if err := s3.ImportState(st, res); err != nil {
+		t.Fatal(err)
+	}
+	for step := 3; step < 6; step++ {
+		refreshGrads(cont, int64(200+step))
+		refreshGrads(res, int64(200+step))
+		s1.Step(cont)
+		s3.Step(res)
+	}
+	for i := range cont {
+		for j, v := range cont[i].Value.Data {
+			if res[i].Value.Data[j] != v {
+				t.Fatalf("resumed SGD diverges on %q[%d]", cont[i].Name, j)
+			}
+		}
+	}
+}
+
+func TestOptimizerImportRejectsCorruptState(t *testing.T) {
+	ps := optimParams(13)
+	a := NewAdam(0.01)
+	a.Step(ps)
+	good := a.ExportState()
+
+	cases := map[string]OptimizerState{
+		"wrong kind":   {Kind: "sgd", LR: 0.01},
+		"unknown slot": {Kind: "adam", LR: 0.01, Slots: []SlotState{{Name: "nope", M: []float64{1}, V: []float64{1}}}},
+		"short moment": {Kind: "adam", LR: 0.01, Slots: []SlotState{{Name: "w2", M: []float64{1}, V: []float64{1}}}},
+		"duplicate slot": {Kind: "adam", LR: 0.01, Slots: []SlotState{
+			good.Slots[0], good.Slots[0],
+		}},
+	}
+	for name, st := range cases {
+		fresh := NewAdam(0.01)
+		if err := fresh.ImportState(st, ps); err == nil {
+			t.Fatalf("%s: corrupt optimizer state accepted", name)
+		}
+	}
+	// SGD must reject a slot that carries a second moment.
+	s := NewSGD(0.1, 0.9)
+	bad := OptimizerState{Kind: "sgd", LR: 0.1, Slots: []SlotState{
+		{Name: "w2", M: make([]float64, 5), V: make([]float64, 5)},
+	}}
+	if err := s.ImportState(bad, ps); err == nil {
+		t.Fatal("sgd slot with a second moment accepted")
+	}
+}

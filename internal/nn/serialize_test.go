@@ -1,0 +1,129 @@
+package nn
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+
+	"ovs/internal/autodiff"
+	"ovs/internal/tensor"
+)
+
+func twoParams() []*autodiff.Parameter {
+	a := autodiff.NewParameter("a", tensor.FromSlice([]float64{1, 2, 3, 4}, 2, 2))
+	b := autodiff.NewParameter("b", tensor.FromSlice([]float64{5, 6}, 2))
+	return []*autodiff.Parameter{a, b}
+}
+
+// loadErr runs LoadParams over a raw document and returns the error; any
+// panic fails the test, because corrupt input must never crash the process.
+func loadErr(t *testing.T, doc string) error {
+	t.Helper()
+	defer func() {
+		if r := recover(); r != nil {
+			t.Fatalf("LoadParams panicked on corrupt input: %v", r)
+		}
+	}()
+	return LoadParams(strings.NewReader(doc), twoParams())
+}
+
+func TestLoadParamsRejectsLengthMismatch(t *testing.T) {
+	// Data length disagrees with the declared shape: 3 values for a 2x2.
+	doc := `[{"name":"a","shape":[2,2],"data":[1,2,3]},{"name":"b","shape":[2],"data":[5,6]}]`
+	if err := loadErr(t, doc); err == nil {
+		t.Fatal("length/shape mismatch accepted")
+	}
+}
+
+func TestLoadParamsRejectsNegativeDimension(t *testing.T) {
+	doc := `[{"name":"a","shape":[-2,-2],"data":[1,2,3,4]},{"name":"b","shape":[2],"data":[5,6]}]`
+	if err := loadErr(t, doc); err == nil {
+		t.Fatal("negative dimensions accepted")
+	}
+}
+
+func TestLoadParamsRejectsDuplicateNames(t *testing.T) {
+	// SaveParams rejects duplicates on write; a hand-edited or corrupt file
+	// must not sneak them past the load path either.
+	doc := `[{"name":"a","shape":[2,2],"data":[1,2,3,4]},` +
+		`{"name":"a","shape":[2,2],"data":[9,9,9,9]},` +
+		`{"name":"b","shape":[2],"data":[5,6]}]`
+	if err := loadErr(t, doc); err == nil {
+		t.Fatal("duplicate parameter names accepted on load")
+	}
+}
+
+func TestLoadParamsRejectsTruncatedJSON(t *testing.T) {
+	doc := `[{"name":"a","shape":[2,2],"data":[1,2,3`
+	if err := loadErr(t, doc); err == nil {
+		t.Fatal("truncated JSON accepted")
+	}
+}
+
+func TestLoadParamsFailureLeavesParamsUntouched(t *testing.T) {
+	params := twoParams()
+	before := append([]float64(nil), params[0].Value.Data...)
+	// "a" is valid here; "b" has a bad length. Nothing may be written.
+	doc := `[{"name":"a","shape":[2,2],"data":[7,7,7,7]},{"name":"b","shape":[2],"data":[5]}]`
+	if err := LoadParams(strings.NewReader(doc), params); err == nil {
+		t.Fatal("corrupt stream accepted")
+	}
+	for i, v := range params[0].Value.Data {
+		if v != before[i] {
+			t.Fatalf("parameter %q half-overwritten at %d: %v", params[0].Name, i, params[0].Value.Data)
+		}
+	}
+}
+
+func TestCaptureRestoreRoundTrip(t *testing.T) {
+	src := twoParams()
+	states, err := CaptureParams(src)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Mutating the source after capture must not change the snapshot.
+	src[0].Value.Data[0] = 99
+	dst := twoParams()
+	for _, p := range dst {
+		p.Value.Zero()
+	}
+	if err := RestoreParams(dst, states); err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{1, 2, 3, 4}
+	for i, v := range dst[0].Value.Data {
+		if v != want[i] {
+			t.Fatalf("restored a = %v, want %v", dst[0].Value.Data, want)
+		}
+	}
+}
+
+func TestCaptureParamsRejectsDuplicates(t *testing.T) {
+	p := autodiff.NewParameter("dup", tensor.New(2))
+	q := autodiff.NewParameter("dup", tensor.New(2))
+	if _, err := CaptureParams([]*autodiff.Parameter{p, q}); err == nil {
+		t.Fatal("duplicate parameter names accepted by CaptureParams")
+	}
+}
+
+func TestSaveLoadStillRoundTrips(t *testing.T) {
+	src := twoParams()
+	var buf bytes.Buffer
+	if err := SaveParams(&buf, src); err != nil {
+		t.Fatal(err)
+	}
+	dst := twoParams()
+	for _, p := range dst {
+		p.Value.Zero()
+	}
+	if err := LoadParams(bytes.NewReader(buf.Bytes()), dst); err != nil {
+		t.Fatal(err)
+	}
+	for i := range src {
+		for j, v := range src[i].Value.Data {
+			if dst[i].Value.Data[j] != v {
+				t.Fatalf("param %q differs after round trip", src[i].Name)
+			}
+		}
+	}
+}
