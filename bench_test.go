@@ -409,3 +409,33 @@ func BenchmarkLSTMForwardBackward(b *testing.B) {
 		g.Backward(loss)
 	}
 }
+
+// BenchmarkLSTMCell measures the fused cell kernel in isolation: the input
+// projection is precomputed (as LSTM.Forward hoists it), so each step is
+// exactly one LSTMCell node — forward and hand-written fused backward — on a
+// recycled graph. This is the per-step cost the fusion collapsed the ~16-node
+// graph chain into.
+func BenchmarkLSTMCell(b *testing.B) {
+	const steps, hidden = 12, 32
+	rng := rand.New(rand.NewSource(1))
+	pre := tensor.Randn(rng, 1, steps, 4*hidden)
+	wh := autodiff.NewParameter("bench.Wh", tensor.Randn(rng, 1, hidden, 4*hidden))
+	target := tensor.Randn(rng, 1, steps, hidden)
+	g := autodiff.NewGraph()
+	defer g.Release()
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		g.Reset()
+		preNode := g.Const(pre)
+		whNode := g.Param(wh)
+		outs := make([]*autodiff.Node, steps)
+		var prev *autodiff.Node
+		for t := 0; t < steps; t++ {
+			prev = autodiff.LSTMCell(preNode, t, prev, whNode, hidden)
+			outs[t] = prev
+		}
+		loss := autodiff.MSE(autodiff.StackRows(outs), target)
+		g.Backward(loss)
+	}
+}

@@ -5,9 +5,9 @@
 //
 // Usage:
 //
-//	ovsbench -bench 'BenchmarkFitEpoch|BenchmarkBackward' -o BENCH_4.json
-//	ovsbench -benchtime 5x -o BENCH_4.json
-//	ovsbench -benchtime 100ms -maxallocs 'BenchmarkMatMul=16'
+//	ovsbench -bench 'BenchmarkFitEpoch|BenchmarkBackward' -o BENCH_7.json
+//	ovsbench -benchtime 5x -o BENCH_7.json
+//	ovsbench -benchtime 100ms -maxallocs 'BenchmarkMatMul=16,BenchmarkModelForward=1100'
 //
 // The default selection covers the allocation-sensitive hot-loop benchmarks
 // plus the GEMM shape sweep and routing benchmarks; pass -bench '.' for
@@ -49,13 +49,13 @@ type Report struct {
 	Results    []Result `json:"results"`
 }
 
-const defaultBench = "BenchmarkFitEpoch|BenchmarkBackward|BenchmarkModelForward|BenchmarkMatMul$|BenchmarkMatMulParallel|BenchmarkGEMM|BenchmarkLSTMForwardBackward|BenchmarkSimulatorMeso|BenchmarkDijkstra"
+const defaultBench = "BenchmarkFitEpoch|BenchmarkBackward|BenchmarkModelForward|BenchmarkMatMul$|BenchmarkMatMulParallel|BenchmarkGEMM|BenchmarkLSTMForwardBackward|BenchmarkLSTMCell$|BenchmarkSimulatorMeso|BenchmarkDijkstra"
 
 func main() {
 	bench := flag.String("bench", defaultBench, "benchmark selection regex passed to go test -bench")
 	benchtime := flag.String("benchtime", "1x", "go test -benchtime value")
 	pkg := flag.String("pkg", ".", "package pattern holding the benchmarks")
-	outPath := flag.String("o", "BENCH_4.json", "output JSON path")
+	outPath := flag.String("o", "BENCH_7.json", "output JSON path")
 	maxAllocs := flag.String("maxallocs", "",
 		"comma-separated name=limit pairs, e.g. 'BenchmarkMatMul=16'; fail when a benchmark's allocs/op exceeds its limit (names matched exactly after stripping the -GOMAXPROCS suffix)")
 	flag.Parse()
@@ -84,10 +84,14 @@ func parseAllocGates(spec string) ([]allocGate, error) {
 	}
 	var gates []allocGate
 	for _, pair := range strings.Split(spec, ",") {
-		name, limitStr, ok := strings.Cut(strings.TrimSpace(pair), "=")
-		if !ok {
+		// Cut at the LAST '=': sub-benchmark names may themselves contain
+		// one ("BenchmarkFitEpoch/arena=on=1500" gates .../arena=on at 1500).
+		pair = strings.TrimSpace(pair)
+		i := strings.LastIndex(pair, "=")
+		if i < 0 {
 			return nil, fmt.Errorf("ovsbench: -maxallocs entry %q is not name=limit", pair)
 		}
+		name, limitStr := pair[:i], pair[i+1:]
 		limit, err := strconv.ParseInt(limitStr, 10, 64)
 		if err != nil || limit < 0 {
 			return nil, fmt.Errorf("ovsbench: -maxallocs limit in %q must be a non-negative integer", pair)

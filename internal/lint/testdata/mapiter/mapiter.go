@@ -60,3 +60,35 @@ func sumSuppressed(w map[string]float64) float64 {
 	}
 	return total
 }
+
+// The shapes below mirror the pack-cache code (internal/tensor/packcache.go)
+// so the analyzer's verdict on each is pinned by a fixture: an LRU eviction
+// scan compares integer clocks and a byte-budget check sums integers — both
+// order-insensitive and legal — while averaging float hit rates across the
+// entry map is exactly the last-ulp lottery the analyzer exists to catch.
+
+func evictVictim(clock map[int]int64) int {
+	victim, oldest := -1, int64(1<<62)
+	for key, tick := range clock { // strict integer min is order-insensitive: not flagged
+		if tick < oldest {
+			victim, oldest = key, tick
+		}
+	}
+	return victim
+}
+
+func packedBytes(sizes map[int]int) int {
+	total := 0
+	for _, n := range sizes { // integer byte accounting: not flagged
+		total += n
+	}
+	return total
+}
+
+func meanHitRate(rates map[int]float64) float64 {
+	sum := 0.0
+	for _, r := range rates { // want "accumulates into a float"
+		sum += r
+	}
+	return sum / float64(len(rates))
+}

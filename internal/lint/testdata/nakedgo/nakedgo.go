@@ -27,3 +27,16 @@ func spawnSuppressed(wg *sync.WaitGroup, work func()) {
 	//ovslint:ignore nakedgo fixture demonstrating an audited suppression
 	go run(wg, work)
 }
+
+// Mirrors a tempting pack-cache "optimization": warming packed panels on a
+// raw goroutine. Any such fan-out must go through internal/parallel so
+// worker count and splice order stay deterministic.
+func warmPacks(wg *sync.WaitGroup, panels []func()) {
+	for _, pack := range panels {
+		wg.Add(1)
+		go func(p func()) { // want "naked go statement"
+			defer wg.Done()
+			p()
+		}(pack)
+	}
+}

@@ -2,6 +2,7 @@ package nn
 
 import (
 	"math/rand"
+	"sync/atomic"
 
 	"ovs/internal/autodiff"
 	"ovs/internal/tensor"
@@ -19,6 +20,19 @@ type LSTM struct {
 	hidden    int
 }
 
+// fusedLSTMOff disables the fused-cell path when set (the zero value keeps
+// fusion on). The graph-op path stays available both as the oracle the
+// equivalence tests compare against and as an escape hatch; the two paths
+// produce bitwise-identical values and gradients (see autodiff.LSTMCell).
+var fusedLSTMOff atomic.Bool
+
+// SetFusedLSTM switches every LSTM in the process between the fused-cell
+// forward (the default) and the unfused graph-op forward.
+func SetFusedLSTM(on bool) { fusedLSTMOff.Store(!on) }
+
+// FusedLSTMEnabled reports whether LSTM forwards use the fused cell.
+func FusedLSTMEnabled() bool { return !fusedLSTMOff.Load() }
+
 // NewLSTM constructs an LSTM with the given input and hidden sizes. The
 // forget-gate bias is initialized to 1, the standard trick to preserve
 // gradient flow early in training.
@@ -27,12 +41,17 @@ func NewLSTM(rng *rand.Rand, name string, in, hidden int) *LSTM {
 	for i := hidden; i < 2*hidden; i++ {
 		b.Data[i] = 1 // forget gate bias
 	}
-	return &LSTM{
+	l := &LSTM{
 		Wx:     autodiff.NewParameter(name+".Wx", tensor.Xavier(rng, in, 4*hidden, in, 4*hidden)),
 		Wh:     autodiff.NewParameter(name+".Wh", tensor.Xavier(rng, hidden, 4*hidden, hidden, 4*hidden)),
 		B:      autodiff.NewParameter(name+".b", b),
 		hidden: hidden,
 	}
+	// Both weight matrices are B-side GEMM operands that change only at
+	// optimizer steps: prime candidates for the persistent pack cache.
+	l.Wx.Value.MarkPackable()
+	l.Wh.Value.MarkPackable()
+	return l
 }
 
 // Hidden returns the hidden-state width.
@@ -40,33 +59,44 @@ func (l *LSTM) Hidden() int { return l.hidden }
 
 // Forward runs the LSTM over the full sequence. x is (T × in); the result is
 // (T × hidden), one row per timestep.
+//
+// The input projection for all timesteps is hoisted into one sequence-level
+// GEMM, X·Wx + b, before the recurrence; the timestep loop then either
+// records one fused autodiff.LSTMCell node per step (default) or the
+// explicit graph-op chain the cell replaces.
 func (l *LSTM) Forward(x *autodiff.Node, _ bool) *autodiff.Node {
 	g := x.Graph()
-	t := x.Value.Dim(0)
-	h := g.Const(g.Alloc(1, l.hidden))
-	c := g.Const(g.Alloc(1, l.hidden))
+	steps := x.Value.Dim(0)
 	wx, wh, b := g.Param(l.Wx), g.Param(l.Wh), g.Param(l.B)
+	pre := autodiff.AddRowVector(autodiff.MatMul(x, wx), b) // (T × 4*hidden)
+	outs := make([]*autodiff.Node, steps)
 
-	outs := make([]*autodiff.Node, t)
-	for step := 0; step < t; step++ {
-		xt := autodiff.Reshape(autodiff.Row(x, step), 1, x.Value.Dim(1))
-		pre := autodiff.AddRowVector(
-			autodiff.Add(autodiff.MatMul(xt, wx), autodiff.MatMul(h, wh)),
-			b,
-		) // (1 × 4*hidden)
-		flat := autodiff.Reshape(pre, 4*l.hidden)
+	if FusedLSTMEnabled() {
+		var prev *autodiff.Node
+		for step := 0; step < steps; step++ {
+			prev = autodiff.LSTMCell(pre, step, prev, wh, l.hidden)
+			outs[step] = prev
+		}
+		return autodiff.StackRows(outs)
+	}
+
+	h := g.Const(g.Alloc(1, l.hidden))
+	c := g.Const(g.Alloc(l.hidden))
+	for step := 0; step < steps; step++ {
+		flat := autodiff.Add(
+			autodiff.Row(pre, step),
+			autodiff.Reshape(autodiff.MatMul(h, wh), 4*l.hidden),
+		)
 		in := autodiff.Sigmoid(autodiff.SliceVec(flat, 0, l.hidden))
 		fg := autodiff.Sigmoid(autodiff.SliceVec(flat, l.hidden, 2*l.hidden))
 		og := autodiff.Sigmoid(autodiff.SliceVec(flat, 2*l.hidden, 3*l.hidden))
 		gg := autodiff.Tanh(autodiff.SliceVec(flat, 3*l.hidden, 4*l.hidden))
 
-		cFlat := autodiff.Reshape(c, l.hidden)
-		cNew := autodiff.Add(autodiff.Mul(fg, cFlat), autodiff.Mul(in, gg))
-		hNew := autodiff.Mul(og, autodiff.Tanh(cNew))
+		c = autodiff.Add(autodiff.Mul(fg, c), autodiff.Mul(in, gg))
+		hFlat := autodiff.Mul(og, autodiff.Tanh(c))
 
-		outs[step] = hNew
-		h = autodiff.Reshape(hNew, 1, l.hidden)
-		c = autodiff.Reshape(cNew, 1, l.hidden)
+		outs[step] = hFlat
+		h = autodiff.Reshape(hFlat, 1, l.hidden)
 	}
 	return autodiff.StackRows(outs)
 }

@@ -73,11 +73,15 @@ type Dense struct {
 
 // NewDense constructs a Dense layer with Xavier-initialized weights.
 func NewDense(rng *rand.Rand, name string, in, out int, act Activation) *Dense {
-	return &Dense{
+	d := &Dense{
 		W:   autodiff.NewParameter(name+".W", tensor.Xavier(rng, in, out, in, out)),
 		B:   autodiff.NewParameter(name+".b", tensor.New(out)),
 		Act: act,
 	}
+	// W is the B-side operand of the layer's GEMM and mutates only at
+	// optimizer steps, so its packed panels are worth caching.
+	d.W.Value.MarkPackable()
+	return d
 }
 
 // Forward applies the layer. x must be rank-2 with x.Dim(1) == in.
@@ -93,11 +97,13 @@ func (d *Dense) Params() []*autodiff.Parameter { return []*autodiff.Parameter{d.
 // Clone returns a deep copy of the layer with independent parameters and
 // gradients.
 func (d *Dense) Clone() *Dense {
-	return &Dense{
+	c := &Dense{
 		W:   autodiff.NewParameter(d.W.Name, d.W.Value.Clone()),
 		B:   autodiff.NewParameter(d.B.Name, d.B.Value.Clone()),
 		Act: d.Act,
 	}
+	c.W.Value.MarkPackable()
+	return c
 }
 
 // In returns the input width of the layer.

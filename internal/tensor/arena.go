@@ -158,6 +158,14 @@ func (a *Arena) get(shape []int) *Tensor {
 // (always, for tensors born in the pool — see minRankCap), so a steady-state
 // Get performs no allocation at all.
 func (t *Tensor) reinit(shape []int, n int) {
+	// A recycled buffer must never serve stale packed panels: drop the
+	// packable mark (pool tensors are short-lived op outputs, never weights)
+	// and bump the version so any cache entry keyed to a previous life of
+	// this pointer can no longer match.
+	if t.packable {
+		t.packable = false
+		t.version++
+	}
 	t.Data = t.Data[:n]
 	for i := range t.Data {
 		t.Data[i] = 0

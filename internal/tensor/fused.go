@@ -132,7 +132,11 @@ func axpyToRange(dst, a *Tensor, alpha float64, b *Tensor, lo, hi int) {
 }
 
 // ScaleInPlace multiplies every element of t by s and returns t.
-func ScaleInPlace(t *Tensor, s float64) *Tensor { return ScaleTo(t, t, s) }
+func ScaleInPlace(t *Tensor, s float64) *Tensor {
+	ScaleTo(t, t, s)
+	t.NoteMutation()
+	return t
+}
 
 // MatMulTo computes the matrix product dst = a · b for rank-2 operands
 // (m×k)·(k×n)→(m×n) and returns dst. dst must not alias a or b; its prior
@@ -150,7 +154,7 @@ func MatMulTo(dst, a, b *Tensor) *Tensor {
 	if dst.Rank() != 2 || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTo output shape %v, want [%d %d]", dst.shape, m, n))
 	}
-	gemm(dst.Data, n, gemmView{a.Data, k, 1}, gemmView{b.Data, n, 1}, m, n, k, false)
+	gemm(dst.Data, n, gemmView{a.Data, k, 1}, gemmView{b.Data, n, 1}, m, n, k, false, packSource(b))
 	return dst
 }
 
@@ -167,7 +171,7 @@ func MatMulNTAcc(dst, a, b *Tensor) *Tensor {
 	if k != k2 || dst.shape[0] != m || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulNTAcc shape mismatch %v += %v x %vᵀ", dst.shape, a.shape, b.shape))
 	}
-	gemm(dst.Data, n, gemmView{a.Data, k, 1}, gemmView{b.Data, 1, k}, m, n, k, true)
+	gemm(dst.Data, n, gemmView{a.Data, k, 1}, gemmView{b.Data, 1, k}, m, n, k, true, packSource(b))
 	return dst
 }
 
@@ -183,7 +187,7 @@ func MatMulTNAcc(dst, a, b *Tensor) *Tensor {
 	if m != m2 || dst.shape[0] != k || dst.shape[1] != n {
 		panic(fmt.Sprintf("tensor: MatMulTNAcc shape mismatch %v += %vᵀ x %v", dst.shape, a.shape, b.shape))
 	}
-	gemm(dst.Data, n, gemmView{a.Data, 1, k}, gemmView{b.Data, n, 1}, k, n, m, true)
+	gemm(dst.Data, n, gemmView{a.Data, 1, k}, gemmView{b.Data, n, 1}, k, n, m, true, packSource(b))
 	return dst
 }
 
@@ -347,6 +351,7 @@ func AdamStepInPlace(value, grad, m, v *Tensor, lr, beta1, beta2, eps, bc1, bc2 
 			adamStepRange(value, grad, m, v, lr, beta1, beta2, eps, bc1, bc2, lo, hi)
 		})
 	}
+	value.NoteMutation()
 }
 
 func adamStepRange(value, grad, m, v *Tensor, lr, beta1, beta2, eps, bc1, bc2 float64, lo, hi int) {
@@ -374,6 +379,7 @@ func SGDMomentumStepInPlace(value, grad, vel *Tensor, lr, momentum float64) {
 			sgdMomentumStepRange(value, grad, vel, lr, momentum, lo, hi)
 		})
 	}
+	value.NoteMutation()
 }
 
 func sgdMomentumStepRange(value, grad, vel *Tensor, lr, momentum float64, lo, hi int) {

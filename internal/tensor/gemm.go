@@ -72,6 +72,18 @@ const (
 // sequence, so the dispatch never affects results, only speed.
 var gemmBlockedMin = parMinWork
 
+// SetGEMMBlockedThreshold sets the m·n·k scalar-op count at which products
+// switch from the naive kernels to the packed blocked core, returning the
+// previous value. Both paths are bitwise-identical, so this is purely a
+// tuning (and testing) knob — tests in other packages use a threshold of 1
+// to force every product, however small, through the blocked path and the
+// pack cache. Not safe to call concurrently with running products.
+func SetGEMMBlockedThreshold(v int) int {
+	old := gemmBlockedMin
+	gemmBlockedMin = v
+	return old
+}
+
 // gemmView addresses a logical matrix inside a flat slice: element (i, j)
 // lives at data[i*rs + j*cs]. A transposed operand is expressed by swapping
 // the strides, which confines transposition to packing arithmetic.
@@ -85,15 +97,17 @@ type gemmView struct {
 // accumulate (dst +=) over overwrite (dst =). The accumulate form computes
 // the product into a zeroed arena scratch block and folds it into dst with a
 // single add per element, preserving the "sum-then-one-add" association the
-// determinism argument above requires.
-func gemm(dst []float64, ldc int, a, b gemmView, m, n, k int, acc bool) {
+// determinism argument above requires. bsrc, when non-nil, is the packable
+// tensor backing the B view; the blocked path then serves B panels from the
+// persistent pack cache (see packcache.go) instead of repacking.
+func gemm(dst []float64, ldc int, a, b gemmView, m, n, k int, acc bool, bsrc *Tensor) {
 	if m*n*k < gemmBlockedMin {
 		gemmNaive(dst, ldc, a, b, m, n, k, acc)
 		return
 	}
 	if acc {
 		scratch := Get(m * n) // Get zero-fills
-		gemmBlocked(scratch.Data, n, a, b, m, n, k)
+		gemmBlocked(scratch.Data, n, a, b, m, n, k, bsrc)
 		sd := scratch.Data
 		if ldc == n {
 			parallel.For(m*n, parMinWork, func(lo, hi int) {
@@ -113,11 +127,28 @@ func gemm(dst []float64, ldc int, a, b gemmView, m, n, k int, acc bool) {
 		Put(scratch)
 		return
 	}
-	gemmBlocked(dst, ldc, a, b, m, n, k)
+	gemmBlocked(dst, ldc, a, b, m, n, k, bsrc)
 }
 
-// gemmBlocked overwrites dst = A·B via the packed cache-blocked path.
-func gemmBlocked(dst []float64, ldc int, a, b gemmView, m, n, k int) {
+// packSource returns b when it is eligible for B-panel caching — marked
+// packable by its owner — and nil otherwise. Entry points call it to decide
+// whether to thread the tensor identity down to the blocked path.
+func packSource(b *Tensor) *Tensor {
+	if b != nil && b.packable {
+		return b
+	}
+	return nil
+}
+
+// gemmBlocked overwrites dst = A·B via the packed cache-blocked path. When
+// bsrc is non-nil the B micro-panels come from the persistent pack cache (a
+// hit skips every packB call; a miss packs the whole matrix once); the cached
+// bytes are identical to a fresh pack, so the dispatch cannot affect results.
+func gemmBlocked(dst []float64, ldc int, a, b gemmView, m, n, k int, bsrc *Tensor) {
+	var cached *packEntry
+	if bsrc != nil {
+		cached = acquirePack(bsrc, b, k, n)
+	}
 	mBlocks := (m + gemmMC - 1) / gemmMC
 	for jc := 0; jc < n; jc += gemmNC {
 		nc := min(gemmNC, n-jc)
@@ -127,20 +158,32 @@ func gemmBlocked(dst []float64, ldc int, a, b gemmView, m, n, k int) {
 			// The first K panel starts its accumulators at zero; every later
 			// panel resumes from the value parked in dst.
 			load := pc > 0
-			bbuf := Get(kc * ncPad)
-			packB(bbuf.Data, b, pc, jc, kc, nc)
+			var bbuf *Tensor
+			var bp []float64
+			if cached != nil {
+				bp = cached.buf.Data[jc*k+pc*ncPad:]
+			} else {
+				bbuf = Get(kc * ncPad)
+				packB(bbuf.Data, b, pc, jc, kc, nc)
+				bp = bbuf.Data
+			}
 			parallel.For(mBlocks, 1, func(lo, hi int) {
 				abuf := Get(gemmMC * kc)
 				for blk := lo; blk < hi; blk++ {
 					i0 := blk * gemmMC
 					mc := min(gemmMC, m-i0)
 					packA(abuf.Data, a, i0, pc, mc, kc)
-					gemmMacro(dst, ldc, abuf.Data, bbuf.Data, i0, jc, mc, nc, kc, load)
+					gemmMacro(dst, ldc, abuf.Data, bp, i0, jc, mc, nc, kc, load)
 				}
 				Put(abuf)
 			})
-			Put(bbuf)
+			if bbuf != nil {
+				Put(bbuf)
+			}
 		}
+	}
+	if cached != nil {
+		releasePack(cached)
 	}
 }
 
@@ -358,10 +401,29 @@ func gemmNaiveAsm(dst []float64, ldc int, a, b gemmView, m, n, k int, acc bool) 
 		return
 	}
 	// Strided output columns (MatMulNTAcc's NT orientation): one strided
-	// FMA-chain dot per element, both runs unit-stride in the NT case.
+	// FMA-chain dot per element, both runs unit-stride in the NT case. Four
+	// adjacent output columns run interleaved — independent chains, each with
+	// the exact per-element sequence of the single-dot kernel — to keep the
+	// FMA pipeline full.
+	var s4 [4]float64
 	for i := 0; i < m; i++ {
 		crow := dst[i*ldc : i*ldc+n]
-		for j := 0; j < n; j++ {
+		j := 0
+		for ; j+4 <= n; j += 4 {
+			gemmDot4FMAAsm(&s4[0], &a.data[i*a.rs], a.cs, &b.data[j*b.cs], b.rs, b.cs, k)
+			if acc {
+				crow[j] += s4[0]
+				crow[j+1] += s4[1]
+				crow[j+2] += s4[2]
+				crow[j+3] += s4[3]
+			} else {
+				crow[j] = s4[0]
+				crow[j+1] = s4[1]
+				crow[j+2] = s4[2]
+				crow[j+3] = s4[3]
+			}
+		}
+		for ; j < n; j++ {
 			s := gemmDotFMAAsm(&a.data[i*a.rs], a.cs, &b.data[j*b.cs], b.rs, k)
 			if acc {
 				crow[j] += s

@@ -21,6 +21,14 @@ func gemmRowFMAAsm(dst, a *float64, as int, b *float64, bs int, k, n int)
 //go:noescape
 func gemmDotFMAAsm(a *float64, as int, b *float64, bs int, k int) float64
 
+// gemmDot4FMAAsm runs four gemmDotFMAAsm chains at once against b vectors
+// spaced brs apart, writing the four sums to dst[0:4]. Each chain's FMA
+// sequence is identical to the one-at-a-time kernel; the interleave only
+// hides FMA latency across independent output elements.
+//
+//go:noescape
+func gemmDot4FMAAsm(dst, a *float64, as int, b *float64, bs, brs int, k int)
+
 func gemmCPUID(eaxIn, ecxIn uint32) (eax, ebx, ecx, edx uint32)
 
 func gemmXGETBV() (eax, edx uint32)

@@ -22,3 +22,7 @@ func gemmRowFMAAsm(dst, a *float64, as int, b *float64, bs int, k, n int) {
 func gemmDotFMAAsm(a *float64, as int, b *float64, bs int, k int) float64 {
 	panic("tensor: gemmDotFMAAsm called without assembly support")
 }
+
+func gemmDot4FMAAsm(dst, a *float64, as int, b *float64, bs, brs int, k int) {
+	panic("tensor: gemmDot4FMAAsm called without assembly support")
+}

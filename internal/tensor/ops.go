@@ -61,6 +61,7 @@ func AddInPlace(a, b *Tensor) *Tensor {
 	} else {
 		parallel.For(n, parMinWork, func(lo, hi int) { addInPlaceRange(a, b, lo, hi) })
 	}
+	a.NoteMutation()
 	return a
 }
 
@@ -78,6 +79,7 @@ func AxpyInPlace(a *Tensor, alpha float64, b *Tensor) *Tensor {
 	} else {
 		parallel.For(n, parMinWork, func(lo, hi int) { axpyInPlaceRange(a, alpha, b, lo, hi) })
 	}
+	a.NoteMutation()
 	return a
 }
 

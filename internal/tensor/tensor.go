@@ -17,6 +17,52 @@ type Tensor struct {
 	shape   []int
 	strides []int
 	Data    []float64
+
+	// packable marks a long-lived weight matrix whose packed GEMM panels may
+	// be cached across calls (see packcache.go). It is opt-in via
+	// MarkPackable; op outputs, gradients, and pooled tensors are never
+	// packable.
+	packable bool
+	// version counts in-place mutations of a packable tensor. The pack cache
+	// keys entries by (tensor pointer, version), so any bump invalidates every
+	// cached panel. Mutating kernels call NoteMutation; the counter follows
+	// the same synchronization rules as Data (external synchronization between
+	// writers and readers).
+	version uint64
+}
+
+// MarkPackable declares t a long-lived weight matrix eligible for packed-panel
+// caching in the GEMM core. The caller promises that every subsequent in-place
+// mutation of t goes through a tensor method or kernel that calls NoteMutation
+// (all kernels in this package do); raw writes to Data on a packable tensor
+// would leave stale panels in the cache.
+func (t *Tensor) MarkPackable() { t.packable = true }
+
+// Packable reports whether t was marked packable.
+func (t *Tensor) Packable() bool { return t.packable }
+
+// Version returns t's mutation counter (always 0 for non-packable tensors).
+func (t *Tensor) Version() uint64 { return t.version }
+
+// NoteMutation records an in-place mutation of t's data, invalidating any
+// cached packed panels. It is a no-op for non-packable tensors, so mutating
+// kernels call it unconditionally.
+func (t *Tensor) NoteMutation() {
+	if t.packable {
+		t.version++
+	}
+}
+
+// CopyDataFrom copies src's elements into t (shapes must match) and records
+// the mutation. It is the sanctioned way to overwrite a tensor wholesale —
+// parameter restores and state snapshots use it so packed-panel caches never
+// serve stale weights.
+func (t *Tensor) CopyDataFrom(src *Tensor) {
+	if len(t.Data) != len(src.Data) {
+		panic(fmt.Sprintf("tensor: CopyDataFrom length %d vs %d", len(t.Data), len(src.Data)))
+	}
+	copy(t.Data, src.Data)
+	t.NoteMutation()
 }
 
 // New returns a zero-filled tensor with the given shape. It panics if any
@@ -100,7 +146,10 @@ func checkShape(shape []int) int {
 	n := 1
 	for _, d := range shape {
 		if d <= 0 {
-			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", shape))
+			// Format a copy: handing shape itself to fmt would make the
+			// parameter escape, forcing every variadic Get/New call site to
+			// heap-allocate its shape literal just to cover this panic path.
+			panic(fmt.Sprintf("tensor: non-positive dimension in shape %v", append([]int(nil), shape...)))
 		}
 		n *= d
 	}
@@ -160,10 +209,16 @@ func (t *Tensor) offset(idx []int) int {
 func (t *Tensor) At(idx ...int) float64 { return t.Data[t.offset(idx)] }
 
 // Set assigns the element at the given multi-index.
-func (t *Tensor) Set(v float64, idx ...int) { t.Data[t.offset(idx)] = v }
+func (t *Tensor) Set(v float64, idx ...int) {
+	t.Data[t.offset(idx)] = v
+	t.NoteMutation()
+}
 
 // Add2 adds v to the element at the given multi-index.
-func (t *Tensor) Add2(v float64, idx ...int) { t.Data[t.offset(idx)] += v }
+func (t *Tensor) Add2(v float64, idx ...int) {
+	t.Data[t.offset(idx)] += v
+	t.NoteMutation()
+}
 
 // Clone returns a deep copy of t.
 func (t *Tensor) Clone() *Tensor {
@@ -191,6 +246,7 @@ func (t *Tensor) Fill(v float64) {
 	for i := range t.Data {
 		t.Data[i] = v
 	}
+	t.NoteMutation()
 }
 
 // Zero sets every element of t to 0.
@@ -201,6 +257,7 @@ func (t *Tensor) Apply(f func(float64) float64) *Tensor {
 	for i, v := range t.Data {
 		t.Data[i] = f(v)
 	}
+	t.NoteMutation()
 	return t
 }
 
