@@ -18,6 +18,7 @@ import (
 	"ovs/internal/autodiff"
 	"ovs/internal/dataset"
 	"ovs/internal/experiment"
+	"ovs/internal/lint"
 	"ovs/internal/nn"
 	"ovs/internal/parallel"
 	"ovs/internal/sim"
@@ -437,5 +438,34 @@ func BenchmarkLSTMCell(b *testing.B) {
 		}
 		loss := autodiff.MSE(autodiff.StackRows(outs), target)
 		g.Backward(loss)
+	}
+}
+
+// BenchmarkLintRepo measures a full cold ovslint pass over the module — the
+// CFG + dataflow suite type-checks and analyzes every package, so this is
+// the CI lint job's wall-clock and the number the incremental cache is
+// amortizing (a warm -cache run skips everything measured here).
+func BenchmarkLintRepo(b *testing.B) {
+	root, err := lint.FindModuleRoot(".")
+	if err != nil {
+		b.Fatal(err)
+	}
+	b.ReportAllocs()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		loader, err := lint.NewLoader(root)
+		if err != nil {
+			b.Fatal(err)
+		}
+		d := &lint.Driver{Loader: loader, Analyzers: lint.All()}
+		res, err := d.Run()
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, pr := range res {
+			for _, diag := range pr.Diags {
+				b.Fatalf("lint diagnostic during benchmark: %s", diag)
+			}
+		}
 	}
 }

@@ -10,7 +10,8 @@
 //	ovsbench -benchtime 100ms -maxallocs 'BenchmarkMatMul=16,BenchmarkModelForward=1100'
 //
 // The default selection covers the allocation-sensitive hot-loop benchmarks
-// plus the GEMM shape sweep and routing benchmarks; pass -bench '.' for
+// plus the GEMM shape sweep, routing benchmarks, and the cold lint pass
+// (BenchmarkLintRepo, the CI lint job's wall-clock); pass -bench '.' for
 // everything. -maxallocs turns the run into a regression gate: it fails (and
 // exits non-zero) when a named benchmark's allocs/op exceeds its limit,
 // which CI uses to catch the pooled pack buffers quietly reverting to
@@ -49,7 +50,7 @@ type Report struct {
 	Results    []Result `json:"results"`
 }
 
-const defaultBench = "BenchmarkFitEpoch|BenchmarkBackward|BenchmarkModelForward|BenchmarkMatMul$|BenchmarkMatMulParallel|BenchmarkGEMM|BenchmarkLSTMForwardBackward|BenchmarkLSTMCell$|BenchmarkSimulatorMeso|BenchmarkDijkstra"
+const defaultBench = "BenchmarkFitEpoch|BenchmarkBackward|BenchmarkModelForward|BenchmarkMatMul$|BenchmarkMatMulParallel|BenchmarkGEMM|BenchmarkLSTMForwardBackward|BenchmarkLSTMCell$|BenchmarkSimulatorMeso|BenchmarkDijkstra|BenchmarkLintRepo"
 
 func main() {
 	bench := flag.String("bench", defaultBench, "benchmark selection regex passed to go test -bench")

@@ -6,15 +6,25 @@
 //
 //	go run ./cmd/ovslint ./...
 //	go run ./cmd/ovslint ./internal/tensor ./internal/sim
+//	go run ./cmd/ovslint -analyzers datamut,lockbalance ./...
+//	go run ./cmd/ovslint -tests ./...
+//	go run ./cmd/ovslint -json ./... > lint.json
+//	go run ./cmd/ovslint -cache .ovslint-cache.json ./...
 //	go run ./cmd/ovslint -list
 //
 // Package arguments restrict which packages are *reported*; the whole module
 // is always loaded so cross-package types resolve. A diagnostic is silenced
 // by an `//ovslint:ignore <analyzer> <reason>` comment on the flagged line
 // or the line immediately above it.
+//
+// -tests additionally loads in-package _test.go files and restricts the run
+// to the analyzers whose invariants hold in test code too. -cache enables
+// the content-hash incremental cache: packages whose transitive sources are
+// unchanged since the recorded run are neither type-checked nor re-analyzed.
 package main
 
 import (
+	"encoding/json"
 	"flag"
 	"fmt"
 	"os"
@@ -27,13 +37,27 @@ import (
 func main() {
 	list := flag.Bool("list", false, "list the analyzers and exit")
 	verbose := flag.Bool("v", false, "print a per-package summary to stderr")
+	jsonOut := flag.Bool("json", false, "emit diagnostics as a JSON array on stdout")
+	analyzers := flag.String("analyzers", "", "comma-separated analyzer subset (default: all)")
+	tests := flag.Bool("tests", false, "also lint in-package _test.go files (test-safe analyzers only)")
+	cacheFile := flag.String("cache", "", "path of the incremental cache file (empty disables caching)")
+	workers := flag.Int("workers", 0, "analysis worker count (0 = all cores)")
 	flag.Parse()
 
 	if *list {
 		for _, a := range lint.All() {
-			fmt.Printf("%-12s %s\n", a.Name, a.Doc)
+			scope := "prod"
+			if a.Tests {
+				scope = "prod+test"
+			}
+			fmt.Printf("%-12s %-10s %s\n", a.Name, scope, a.Doc)
 		}
 		return
+	}
+
+	selected, err := selectAnalyzers(*analyzers, *tests)
+	if err != nil {
+		fatal(err)
 	}
 
 	cwd, err := os.Getwd()
@@ -48,7 +72,10 @@ func main() {
 	if err != nil {
 		fatal(err)
 	}
-	pkgs, err := loader.LoadAll()
+	loader.Tests = *tests
+
+	driver := &lint.Driver{Loader: loader, Analyzers: selected, Workers: *workers, CacheFile: *cacheFile}
+	results, err := driver.Run()
 	if err != nil {
 		fatal(err)
 	}
@@ -57,22 +84,47 @@ func main() {
 	}
 
 	keep := packageFilter(root, cwd, flag.Args())
+	type jsonDiag struct {
+		File     string `json:"file"`
+		Line     int    `json:"line"`
+		Col      int    `json:"col"`
+		Analyzer string `json:"analyzer"`
+		Message  string `json:"message"`
+	}
+	jsonDiags := []jsonDiag{}
 	total := 0
-	for _, pkg := range pkgs {
-		if !keep(pkg) {
+	for _, res := range results {
+		if !keep(root, res.Path) {
 			continue
 		}
-		diags := lint.RunPackage(pkg, lint.All())
 		if *verbose {
-			fmt.Fprintf(os.Stderr, "ovslint: %s: %d diagnostic(s)\n", pkg.Path, len(diags))
+			from := "analyzed"
+			if res.Cached {
+				from = "cached"
+			}
+			fmt.Fprintf(os.Stderr, "ovslint: %s: %d diagnostic(s) (%s)\n", res.Path, len(res.Diags), from)
 		}
-		for _, d := range diags {
+		for _, d := range res.Diags {
 			rel := d
 			if r, err := filepath.Rel(root, d.Pos.Filename); err == nil {
 				rel.Pos.Filename = r
 			}
-			fmt.Println(rel)
+			if *jsonOut {
+				jsonDiags = append(jsonDiags, jsonDiag{
+					File: filepath.ToSlash(rel.Pos.Filename), Line: rel.Pos.Line, Col: rel.Pos.Column,
+					Analyzer: rel.Analyzer, Message: rel.Message,
+				})
+			} else {
+				fmt.Println(rel)
+			}
 			total++
+		}
+	}
+	if *jsonOut {
+		enc := json.NewEncoder(os.Stdout)
+		enc.SetIndent("", "\t")
+		if err := enc.Encode(jsonDiags); err != nil {
+			fatal(err)
 		}
 	}
 	if total > 0 {
@@ -81,11 +133,52 @@ func main() {
 	}
 }
 
+// selectAnalyzers resolves the -analyzers and -tests flags to the analyzer
+// subset to run. In -tests mode only test-safe analyzers are eligible:
+// test files legitimately compare floats, range maps, and discard errors
+// from cleanup, so the other analyzers would drown signal in noise.
+func selectAnalyzers(spec string, tests bool) ([]*lint.Analyzer, error) {
+	byName := map[string]*lint.Analyzer{}
+	for _, a := range lint.All() {
+		byName[a.Name] = a
+	}
+	var picked []*lint.Analyzer
+	if spec == "" {
+		picked = lint.All()
+	} else {
+		for _, name := range strings.Split(spec, ",") {
+			name = strings.TrimSpace(name)
+			if name == "" {
+				continue
+			}
+			a, ok := byName[name]
+			if !ok {
+				return nil, fmt.Errorf("unknown analyzer %q (run -list for the suite)", name)
+			}
+			picked = append(picked, a)
+		}
+	}
+	if tests {
+		var testSafe []*lint.Analyzer
+		for _, a := range picked {
+			if a.Tests {
+				testSafe = append(testSafe, a)
+			}
+		}
+		picked = testSafe
+	}
+	if len(picked) == 0 {
+		return nil, fmt.Errorf("no analyzers selected")
+	}
+	return picked, nil
+}
+
 // packageFilter turns CLI patterns ("./...", "./internal/tensor", an import
-// path) into a predicate over loaded packages. No patterns means everything.
-func packageFilter(root, cwd string, patterns []string) func(*lint.Package) bool {
+// path) into a predicate over package import paths. No patterns means
+// everything.
+func packageFilter(root, cwd string, patterns []string) func(root, pkgPath string) bool {
 	if len(patterns) == 0 {
-		return func(*lint.Package) bool { return true }
+		return func(string, string) bool { return true }
 	}
 	type rule struct {
 		dir       string
@@ -108,12 +201,18 @@ func packageFilter(root, cwd string, patterns []string) func(*lint.Package) bool
 		}
 		rules = append(rules, rule{dir: filepath.Clean(dir), recursive: recursive})
 	}
-	return func(p *lint.Package) bool {
+	return func(root, pkgPath string) bool {
+		// Reconstruct the package directory from its import path: the
+		// module path maps to the root, subpackages to subdirectories.
+		dir := root
+		if i := strings.Index(pkgPath, "/"); i >= 0 {
+			dir = filepath.Join(root, filepath.FromSlash(pkgPath[i+1:]))
+		}
 		for _, r := range rules {
-			if p.Dir == r.dir {
+			if dir == r.dir {
 				return true
 			}
-			if r.recursive && strings.HasPrefix(p.Dir+string(filepath.Separator), r.dir+string(filepath.Separator)) {
+			if r.recursive && strings.HasPrefix(dir+string(filepath.Separator), r.dir+string(filepath.Separator)) {
 				return true
 			}
 		}

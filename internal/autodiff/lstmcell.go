@@ -161,6 +161,8 @@ func backLSTMCell(out *Node) {
 		cPrev = prev.ext.Data[0:hidden]
 		if prev.requires {
 			prevDc = prev.ext.Data[6*hidden : 7*hidden]
+			// The dc(t+1) contribution below writes through this alias.
+			prev.ext.NoteMutation()
 		}
 	} else {
 		zero = tensor.Get(hidden)

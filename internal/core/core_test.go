@@ -307,6 +307,7 @@ func TestAuxLossValidation(t *testing.T) {
 			t.Fatal("census length mismatch did not panic")
 		}
 	}()
+	//ovslint:ignore ignorederr the call is expected to panic before returning; results are unreachable
 	_, _, _ = m.Fit(speedObs, 1, &AuxData{CensusSum: []float64{1, 2}, CensusWeight: 1})
 }
 

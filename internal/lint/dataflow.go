@@ -1,0 +1,130 @@
+package lint
+
+import "go/ast"
+
+// This file implements the forward worklist solver the dataflow analyzers
+// share. An analysis plugs in a lattice (join + equality) and a transfer
+// function over block nodes; the solver iterates to a fixed point.
+//
+// The solver is generic over the fact type F. Facts must be treated as
+// immutable by Transfer (return a fresh or shared value, never mutate the
+// input in place) so that block-entry facts stay valid across worklist
+// revisits. All analyzers in this package use small persistent-ish maps
+// copied on write, which is plenty fast: function bodies here are a few
+// hundred statements at most.
+//
+// Determinism: the worklist is an ordered queue seeded with blocks in index
+// (source) order and deduplicated, so the iteration order — and therefore
+// any diagnostic emitted from inside a transfer function — is a pure
+// function of the CFG.
+
+// A FlowSpec defines one forward dataflow analysis over a CFG.
+type FlowSpec[F any] struct {
+	// Entry is the fact at function entry.
+	Entry F
+	// Join merges the facts of two predecessors.
+	Join func(a, b F) F
+	// Equal reports whether two facts are equal (fixed-point test).
+	Equal func(a, b F) bool
+	// Transfer applies one block node (a statement) to the fact.
+	Transfer func(fact F, node ast.Node) F
+	// TransferCond, when non-nil, applies the block's control expression
+	// (if/for condition, switch tag, range expression) after the block's
+	// nodes. Reads inside conditions matter to liveness-style analyses.
+	TransferCond func(fact F, cond ast.Expr) F
+}
+
+// SolveForward runs the analysis to a fixed point and returns the fact at
+// entry and exit of every block. The exit fact of cfg.Exit is the
+// whole-function exit fact.
+func SolveForward[F any](cfg *CFG, spec FlowSpec[F]) (in, out map[*Block]F) {
+	in = make(map[*Block]F, len(cfg.Blocks))
+	out = make(map[*Block]F, len(cfg.Blocks))
+	seeded := make(map[*Block]bool, len(cfg.Blocks))
+
+	preds := make(map[*Block][]*Block, len(cfg.Blocks))
+	for _, b := range cfg.Blocks {
+		for _, s := range b.Succs {
+			preds[s] = append(preds[s], b)
+		}
+	}
+
+	apply := func(b *Block, fact F) F {
+		for _, n := range b.Nodes {
+			fact = spec.Transfer(fact, n)
+		}
+		if spec.TransferCond != nil && b.Cond != nil {
+			fact = spec.TransferCond(fact, b.Cond)
+		}
+		return fact
+	}
+
+	// Ordered worklist with membership dedup.
+	queue := make([]*Block, 0, len(cfg.Blocks))
+	inQueue := make(map[*Block]bool, len(cfg.Blocks))
+	push := func(b *Block) {
+		if !inQueue[b] {
+			inQueue[b] = true
+			queue = append(queue, b)
+		}
+	}
+	for _, b := range cfg.Blocks {
+		push(b)
+	}
+
+	for len(queue) > 0 {
+		b := queue[0]
+		queue = queue[1:]
+		inQueue[b] = false
+
+		var fact F
+		have := false
+		if b.Index == 0 {
+			fact = spec.Entry
+			have = true
+		}
+		for _, p := range preds[b] {
+			if !seeded[p] {
+				continue
+			}
+			if !have {
+				fact = out[p]
+				have = true
+			} else {
+				fact = spec.Join(fact, out[p])
+			}
+		}
+		if !have {
+			// Unreachable block (dead code, or a goto target never taken):
+			// skip until a predecessor produces a fact. Entry always has one.
+			continue
+		}
+		in[b] = fact
+		newOut := apply(b, fact)
+		if seeded[b] && spec.Equal(out[b], newOut) {
+			continue
+		}
+		out[b] = newOut
+		seeded[b] = true
+		for _, s := range b.Succs {
+			push(s)
+		}
+	}
+	return in, out
+}
+
+// inspectNoFuncLit walks the AST under root, calling visit for every node
+// except those inside nested function literals — a literal's body belongs to
+// its own CFG, not the enclosing function's. The root itself is visited even
+// if it is a literal-bearing statement.
+func inspectNoFuncLit(root ast.Node, visit func(ast.Node) bool) {
+	ast.Inspect(root, func(n ast.Node) bool {
+		if _, ok := n.(*ast.FuncLit); ok {
+			return false
+		}
+		if n == nil {
+			return true
+		}
+		return visit(n)
+	})
+}

@@ -1,0 +1,381 @@
+package lint
+
+import (
+	"go/ast"
+	"go/token"
+	"go/types"
+	"sort"
+)
+
+// ErrFlow generalizes ignorederr from call-statement syntax to dataflow: it
+// flags an error-typed local that is assigned a value and then, on some
+// control-flow path, neither read nor returned before being overwritten or
+// falling out of the function. ignorederr sees `_ = f()` and bare calls;
+// errflow sees
+//
+//	err := f()
+//	if debug {
+//	    return err
+//	}
+//	return nil // err checked on one path only
+//
+// The fact is the set of (variable, assignment position) pairs for which
+// some path reaches the current point with the assignment still unread. A
+// read anywhere (conditions included — `if err != nil` reads err) clears the
+// variable's pending assignments; a re-assignment or function exit with
+// pending entries reports them.
+//
+// Out of scope, to stay precise: blank assignments (ignorederr's job),
+// variables captured by any function literal or having their address taken
+// (reads there are invisible to an intraprocedural pass), `err = nil` resets
+// (an intentional discard), and named results covered by a naked return.
+var ErrFlow = &Analyzer{
+	Name:  "errflow",
+	Doc:   "flags error values assigned but never read on some path to reassignment or function exit",
+	Tests: true,
+	Run: func(p *Pass) {
+		for _, f := range p.Files {
+			for _, fb := range FuncBodies(f) {
+				checkErrFlow(p, fb)
+			}
+		}
+	},
+}
+
+// errFact maps a tracked error variable to the positions of assignments that
+// are still unread along at least one path reaching the current point.
+type errFact map[types.Object][]token.Pos
+
+func (f errFact) clone() errFact {
+	c := make(errFact, len(f))
+	for k, v := range f {
+		c[k] = v
+	}
+	return c
+}
+
+func insertPos(ps []token.Pos, p token.Pos) []token.Pos {
+	i := sort.Search(len(ps), func(i int) bool { return ps[i] >= p })
+	if i < len(ps) && ps[i] == p {
+		return ps
+	}
+	out := make([]token.Pos, 0, len(ps)+1)
+	out = append(out, ps[:i]...)
+	out = append(out, p)
+	return append(out, ps[i:]...)
+}
+
+func errJoin(a, b errFact) errFact {
+	if len(b) == 0 {
+		return a
+	}
+	if len(a) == 0 {
+		return b
+	}
+	c := a.clone()
+	for k, ps := range b {
+		merged := c[k]
+		for _, p := range ps {
+			merged = insertPos(merged, p)
+		}
+		c[k] = merged
+	}
+	return c
+}
+
+func errEqual(a, b errFact) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, ps := range a {
+		qs, ok := b[k]
+		if !ok || len(ps) != len(qs) {
+			return false
+		}
+		for i := range ps {
+			if ps[i] != qs[i] {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// errFlowScope is the per-function context: which objects are tracked and
+// which are the named results (read by a naked return).
+type errFlowScope struct {
+	pass    *Pass
+	tracked map[types.Object]bool
+	results map[types.Object]bool
+	// report receives a pending assignment position once the fixed point is
+	// known; nil during solving.
+	report func(token.Pos)
+}
+
+func checkErrFlow(p *Pass, fb FuncBody) {
+	sc := &errFlowScope{pass: p, tracked: map[types.Object]bool{}, results: map[types.Object]bool{}}
+
+	// Named results are tracked too: `err = f(); return nil` drops the value
+	// just as surely as a local would.
+	if fb.Type.Results != nil {
+		for _, field := range fb.Type.Results.List {
+			for _, name := range field.Names {
+				if obj := p.Info.Defs[name]; obj != nil && isErrorType(obj.Type()) {
+					sc.tracked[obj] = true
+					sc.results[obj] = true
+				}
+			}
+		}
+	}
+	// Locals defined in this body (excluding nested literals, which track
+	// their own variables).
+	inspectNoFuncLit(fb.Body, func(n ast.Node) bool {
+		id, ok := n.(*ast.Ident)
+		if !ok || id.Name == "_" {
+			return true
+		}
+		if obj, ok := p.Info.Defs[id].(*types.Var); ok && isErrorType(obj.Type()) {
+			sc.tracked[obj] = true
+		}
+		return true
+	})
+	if len(sc.tracked) == 0 {
+		return
+	}
+	// Exclude variables an intraprocedural pass cannot follow: captured by a
+	// function literal, or address-taken.
+	ast.Inspect(fb.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.FuncLit:
+			ast.Inspect(n.Body, func(m ast.Node) bool {
+				if id, ok := m.(*ast.Ident); ok {
+					if obj := p.Info.Uses[id]; obj != nil {
+						delete(sc.tracked, obj)
+					}
+				}
+				return true
+			})
+			return false
+		case *ast.UnaryExpr:
+			if n.Op == token.AND {
+				if id, ok := n.X.(*ast.Ident); ok {
+					if obj := p.Info.Uses[id]; obj != nil {
+						delete(sc.tracked, obj)
+					}
+				}
+			}
+		}
+		return true
+	})
+	if len(sc.tracked) == 0 {
+		return
+	}
+
+	cfg := BuildCFG(fb.Body)
+	spec := FlowSpec[errFact]{
+		Entry:        errFact{},
+		Join:         errJoin,
+		Equal:        errEqual,
+		Transfer:     sc.transfer,
+		TransferCond: sc.transferCond,
+	}
+	in, out := SolveForward(cfg, spec)
+
+	// Reporting pass: replay each block once on its fixed-point entry fact,
+	// now with the report sink attached, so every diagnostic is emitted
+	// exactly once in block order. Exit-pending assignments come last.
+	reported := map[token.Pos]bool{}
+	sc.report = func(pos token.Pos) {
+		if !reported[pos] {
+			reported[pos] = true
+			p.Reportf(pos, "error assigned here is never read on some path to reassignment or function exit; check it on every path (or discard it explicitly)")
+		}
+	}
+	for _, b := range cfg.Blocks {
+		fact, reachable := in[b]
+		if !reachable {
+			continue
+		}
+		for _, n := range b.Nodes {
+			fact = sc.transfer(fact, n)
+		}
+	}
+	exit := out[cfg.Exit]
+	var leftovers []token.Pos
+	for _, ps := range exit {
+		leftovers = append(leftovers, ps...)
+	}
+	sort.Slice(leftovers, func(i, j int) bool { return leftovers[i] < leftovers[j] })
+	for _, pos := range leftovers {
+		sc.report(pos)
+	}
+}
+
+// transfer applies one statement: reads clear pending assignments,
+// assignments report-and-replace pending ones.
+func (sc *errFlowScope) transfer(fact errFact, n ast.Node) errFact {
+	out := fact
+	mutated := false
+	mutable := func() errFact {
+		if !mutated {
+			out = fact.clone()
+			mutated = true
+		}
+		return out
+	}
+
+	clearRead := func(obj types.Object) {
+		if _, ok := out[obj]; ok {
+			delete(mutable(), obj)
+		}
+	}
+
+	switch s := n.(type) {
+	case *ast.AssignStmt:
+		// RHS (and any non-direct-target LHS subexpressions) are reads.
+		for _, rhs := range s.Rhs {
+			sc.scanReads(rhs, clearRead)
+		}
+		for _, lhs := range s.Lhs {
+			if _, direct := directTarget(sc.pass, lhs); !direct {
+				sc.scanReads(lhs, clearRead)
+			}
+		}
+		for i, lhs := range s.Lhs {
+			obj, direct := directTarget(sc.pass, lhs)
+			if !direct || obj == nil || !sc.tracked[obj] {
+				continue
+			}
+			if len(s.Rhs) == len(s.Lhs) && isNilLiteral(sc.pass, s.Rhs[i]) {
+				// `err = nil` is an intentional reset: it neither reports the
+				// pending value (the writer chose to drop it) nor becomes a
+				// trackable value itself.
+				clearRead(obj)
+				continue
+			}
+			if pending, ok := out[obj]; ok && len(pending) > 0 {
+				if sc.report != nil {
+					for _, p := range pending {
+						sc.report(p)
+					}
+				}
+			}
+			mutable()[obj] = []token.Pos{lhs.Pos()}
+		}
+	case *ast.ReturnStmt:
+		for _, res := range s.Results {
+			sc.scanReads(res, clearRead)
+		}
+		if len(s.Results) == 0 {
+			// Naked return reads every named result.
+			for obj := range sc.results {
+				clearRead(obj)
+			}
+		}
+	case *ast.RangeStmt:
+		sc.scanReads(s.X, clearRead)
+		// Key/value rebind on the edge into the body, which this CFG cannot
+		// distinguish from the zero-iteration edge past the loop — so range
+		// bindings are not tracked as pending values (doing so would flag
+		// every `for _, err := range errs` on its zero-iteration path). A
+		// range reassignment of a tracked variable still reports and then
+		// retires whatever was pending before the loop.
+		for _, lhs := range []ast.Expr{s.Key, s.Value} {
+			if lhs == nil {
+				continue
+			}
+			obj, direct := directTarget(sc.pass, lhs)
+			if !direct || obj == nil || !sc.tracked[obj] {
+				continue
+			}
+			if pending, ok := out[obj]; ok && sc.report != nil {
+				for _, p := range pending {
+					sc.report(p)
+				}
+			}
+			clearRead(obj)
+		}
+	case *ast.DeclStmt:
+		if gd, ok := s.Decl.(*ast.GenDecl); ok {
+			for _, spec := range gd.Specs {
+				vs, ok := spec.(*ast.ValueSpec)
+				if !ok {
+					continue
+				}
+				for _, v := range vs.Values {
+					sc.scanReads(v, clearRead)
+				}
+				if len(vs.Values) == 0 {
+					continue // `var err error` holds no trackable value yet
+				}
+				for i, name := range vs.Names {
+					obj := sc.pass.Info.Defs[name]
+					if obj == nil || !sc.tracked[obj] {
+						continue
+					}
+					if len(vs.Values) == len(vs.Names) && isNilLiteral(sc.pass, vs.Values[i]) {
+						continue
+					}
+					mutable()[obj] = []token.Pos{name.Pos()}
+				}
+			}
+		}
+	default:
+		sc.scanReads(n, clearRead)
+	}
+	return out
+}
+
+func (sc *errFlowScope) transferCond(fact errFact, cond ast.Expr) errFact {
+	out := fact
+	mutated := false
+	sc.scanReads(cond, func(obj types.Object) {
+		if _, ok := out[obj]; ok {
+			if !mutated {
+				out = fact.clone()
+				mutated = true
+			}
+			delete(out, obj)
+		}
+	})
+	return out
+}
+
+// scanReads calls read for every tracked object whose identifier is used
+// (not defined) under root, skipping nested function literals.
+func (sc *errFlowScope) scanReads(root ast.Node, read func(types.Object)) {
+	inspectNoFuncLit(root, func(n ast.Node) bool {
+		if id, ok := n.(*ast.Ident); ok {
+			if obj := sc.pass.Info.Uses[id]; obj != nil && sc.tracked[obj] {
+				read(obj)
+			}
+		}
+		return true
+	})
+}
+
+// directTarget reports whether lhs is a plain identifier assignment target
+// and returns its object (nil for blank).
+func directTarget(p *Pass, lhs ast.Expr) (types.Object, bool) {
+	id, ok := lhs.(*ast.Ident)
+	if !ok {
+		return nil, false
+	}
+	if id.Name == "_" {
+		return nil, true
+	}
+	if obj := p.Info.Defs[id]; obj != nil {
+		return obj, true
+	}
+	return p.Info.Uses[id], true
+}
+
+// isNilLiteral reports whether e is the predeclared nil.
+func isNilLiteral(p *Pass, e ast.Expr) bool {
+	id, ok := e.(*ast.Ident)
+	if !ok {
+		return false
+	}
+	_, isNil := p.Info.Uses[id].(*types.Nil)
+	return isNil
+}

@@ -14,8 +14,9 @@ import (
 // checking those is pure noise. Anything else must handle the error or carry
 // an //ovslint:ignore explaining why the failure is unreportable.
 var IgnoredErr = &Analyzer{
-	Name: "ignorederr",
-	Doc:  "flags discarded error returns (_ = and bare calls) in non-test code",
+	Name:  "ignorederr",
+	Doc:   "flags discarded error returns (_ = and bare calls) in non-test code",
+	Tests: true,
 	Run: func(p *Pass) {
 		for _, f := range p.Files {
 			ast.Inspect(f, func(n ast.Node) bool {

@@ -44,11 +44,18 @@ type Analyzer struct {
 	// Run inspects the package held by the Pass and reports diagnostics
 	// through Pass.Reportf.
 	Run func(*Pass)
+	// Tests marks analyzers whose invariants also hold inside _test.go
+	// files; cmd/ovslint -tests runs only these over test sources.
+	Tests bool
 }
 
-// All returns the full ovslint suite in deterministic order.
+// All returns the full ovslint suite in deterministic order: the five
+// syntactic analyzers first, then the four CFG/dataflow analyzers.
 func All() []*Analyzer {
-	return []*Analyzer{MapIter, GlobalRand, NakedGo, FloatEq, IgnoredErr}
+	return []*Analyzer{
+		MapIter, GlobalRand, NakedGo, FloatEq, IgnoredErr,
+		DataMut, ArenaEscape, LockBalance, ErrFlow,
+	}
 }
 
 // knownAnalyzerNames holds every valid //ovslint:ignore target, used to
@@ -204,17 +211,33 @@ func (s *suppressionIndex) suppressed(analyzer, file string, line int) bool {
 func RunPackage(pkg *Package, analyzers []*Analyzer) []Diagnostic {
 	var raw []rawDiag
 	for _, a := range analyzers {
-		pass := &Pass{
-			Analyzer: a,
-			Fset:     pkg.Fset,
-			Files:    pkg.Files,
-			PkgPath:  pkg.Path,
-			Pkg:      pkg.Types,
-			Info:     pkg.Info,
-			diags:    &raw,
-		}
-		a.Run(pass)
+		raw = append(raw, runAnalyzer(pkg, a)...)
 	}
+	return finishPackage(pkg, raw)
+}
+
+// runAnalyzer runs one analyzer over one package and returns its raw
+// diagnostics. It touches only the analyzer's own output slice, so distinct
+// (package, analyzer) units may run concurrently: analyzers read the shared
+// AST and type info but never write them.
+func runAnalyzer(pkg *Package, a *Analyzer) []rawDiag {
+	var raw []rawDiag
+	pass := &Pass{
+		Analyzer: a,
+		Fset:     pkg.Fset,
+		Files:    pkg.Files,
+		PkgPath:  pkg.Path,
+		Pkg:      pkg.Types,
+		Info:     pkg.Info,
+		diags:    &raw,
+	}
+	a.Run(pass)
+	return raw
+}
+
+// finishPackage applies the package's suppression directives to the raw
+// diagnostics and returns the survivors sorted by position.
+func finishPackage(pkg *Package, raw []rawDiag) []Diagnostic {
 	dirs, malformed := collectIgnores(pkg.Fset, pkg.Files)
 	idx := buildSuppressionIndex(dirs)
 

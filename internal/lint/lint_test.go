@@ -15,6 +15,37 @@ import (
 	"testing"
 )
 
+// fixtureImporter resolves a fixture's imports: module-internal paths go
+// through a real Loader (so datamut/arenaescape fixtures can import the
+// actual tensor and autodiff packages), everything else through the
+// standard source importer. The module loader is built lazily — fixtures
+// without module imports never pay for it.
+type fixtureImporter struct {
+	std types.Importer
+	mod *Loader
+}
+
+func (fi *fixtureImporter) Import(path string) (*types.Package, error) {
+	if path == "ovs" || strings.HasPrefix(path, "ovs/") {
+		if fi.mod == nil {
+			root, err := FindModuleRoot(".")
+			if err != nil {
+				return nil, err
+			}
+			fi.mod, err = NewLoader(root)
+			if err != nil {
+				return nil, err
+			}
+		}
+		return fi.mod.Import(path)
+	}
+	return fi.std.Import(path)
+}
+
+// sharedFixtureImporter is reused across fixture loads so the module's
+// packages type-check once per `go test` process, not once per fixture.
+var sharedFixtureImporter = &fixtureImporter{}
+
 // loadFixture parses and type-checks one testdata package, registering it
 // under pkgPath so package-scoped analyzers (mapiter, globalrand, nakedgo)
 // can be exercised both inside and outside their target packages.
@@ -43,7 +74,10 @@ func loadFixture(t *testing.T, fixture, pkgPath string) *Package {
 		Uses:       make(map[*ast.Ident]types.Object),
 		Selections: make(map[*ast.SelectorExpr]*types.Selection),
 	}
-	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	if sharedFixtureImporter.std == nil {
+		sharedFixtureImporter.std = importer.ForCompiler(fset, "source", nil)
+	}
+	conf := types.Config{Importer: sharedFixtureImporter}
 	tpkg, err := conf.Check(pkgPath, fset, files, info)
 	if err != nil {
 		t.Fatalf("fixture %s does not type-check: %v", fixture, err)
@@ -150,6 +184,22 @@ func TestIgnoredErrFixture(t *testing.T) {
 	checkFixture(t, []*Analyzer{IgnoredErr}, "ignorederr", "ovs/internal/roadnet")
 }
 
+func TestDataMutFixture(t *testing.T) {
+	checkFixture(t, []*Analyzer{DataMut}, "datamut", "ovs/internal/nn")
+}
+
+func TestArenaEscapeFixture(t *testing.T) {
+	checkFixture(t, []*Analyzer{ArenaEscape}, "arenaescape", "ovs/internal/nn")
+}
+
+func TestLockBalanceFixture(t *testing.T) {
+	checkFixture(t, []*Analyzer{LockBalance}, "lockbalance", "ovs/internal/tensor")
+}
+
+func TestErrFlowFixture(t *testing.T) {
+	checkFixture(t, []*Analyzer{ErrFlow}, "errflow", "ovs/internal/trafficio")
+}
+
 // TestSuppressionSilencesOnlyNamedAnalyzer runs two analyzers over a line
 // that trips both with a directive naming just one: the named analyzer must
 // be silenced, the other must still fire. Stacked directives silence both.
@@ -185,8 +235,8 @@ func TestEveryAnalyzerHasNameAndDoc(t *testing.T) {
 		}
 		seen[a.Name] = true
 	}
-	if len(seen) < 5 {
-		t.Errorf("suite has %d analyzers, want at least 5", len(seen))
+	if len(seen) < 9 {
+		t.Errorf("suite has %d analyzers, want at least 9", len(seen))
 	}
 }
 
@@ -228,6 +278,51 @@ func TestSelfLint(t *testing.T) {
 	}
 }
 
+// TestDriverCacheRoundTrip runs the incremental driver twice over the real
+// module: the second run must serve every package from the cache and report
+// identical diagnostics. Skipped under -short with the other whole-module
+// loads.
+func TestDriverCacheRoundTrip(t *testing.T) {
+	if testing.Short() {
+		t.Skip("driver round-trip loads the whole module; skipped under -short")
+	}
+	root, err := FindModuleRoot(".")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cacheFile := filepath.Join(t.TempDir(), "cache.json")
+	run := func(workers int) []PackageResult {
+		loader, err := NewLoader(root)
+		if err != nil {
+			t.Fatal(err)
+		}
+		d := &Driver{Loader: loader, Analyzers: All(), Workers: workers, CacheFile: cacheFile}
+		res, err := d.Run()
+		if err != nil {
+			t.Fatal(err)
+		}
+		return res
+	}
+	first := run(1)
+	second := run(4)
+	if len(first) != len(second) {
+		t.Fatalf("package count changed between runs: %d vs %d", len(first), len(second))
+	}
+	for i := range second {
+		if !second[i].Cached {
+			t.Errorf("%s: not served from cache on the second run", second[i].Path)
+		}
+		if got, want := len(second[i].Diags), len(first[i].Diags); got != want {
+			t.Errorf("%s: cached run has %d diagnostics, fresh run had %d", second[i].Path, got, want)
+		}
+		for j := range second[i].Diags {
+			if second[i].Diags[j].String() != first[i].Diags[j].String() {
+				t.Errorf("%s: diagnostic %d differs: %s vs %s", second[i].Path, j, second[i].Diags[j], first[i].Diags[j])
+			}
+		}
+	}
+}
+
 // TestDiagnosticFormat pins the file:line:col: [analyzer] message rendering
 // CI greps for.
 func TestDiagnosticFormat(t *testing.T) {
@@ -251,4 +346,8 @@ func ExampleAll() {
 	// nakedgo
 	// floateq
 	// ignorederr
+	// datamut
+	// arenaescape
+	// lockbalance
+	// errflow
 }

@@ -36,6 +36,11 @@ type Package struct {
 type Loader struct {
 	Fset *token.FileSet
 
+	// Tests additionally loads each package's in-package _test.go files
+	// (external foo_test packages are skipped: they cannot join the package
+	// they test in a single type-check unit). Set it before the first load.
+	Tests bool
+
 	root   string // absolute module root (directory containing go.mod)
 	module string // module path from go.mod
 	cache  map[string]*Package
@@ -98,6 +103,26 @@ func FindModuleRoot(dir string) (string, error) {
 // LoadAll parses and type-checks every non-test package in the module, in
 // deterministic (sorted import path) order.
 func (l *Loader) LoadAll() ([]*Package, error) {
+	dirs, err := l.PackageDirs()
+	if err != nil {
+		return nil, err
+	}
+	var pkgs []*Package
+	for _, dir := range dirs {
+		path := l.importPathFor(dir)
+		pkg, err := l.load(path, dir)
+		if err != nil {
+			return nil, err
+		}
+		pkgs = append(pkgs, pkg)
+	}
+	return pkgs, nil
+}
+
+// PackageDirs returns every package directory of the module in sorted order,
+// without parsing or type-checking anything. The incremental driver uses it
+// to hash packages before deciding which ones to load.
+func (l *Loader) PackageDirs() ([]string, error) {
 	var dirs []string
 	err := filepath.WalkDir(l.root, func(path string, d os.DirEntry, err error) error {
 		if err != nil {
@@ -119,16 +144,21 @@ func (l *Loader) LoadAll() ([]*Package, error) {
 		return nil, err
 	}
 	sort.Strings(dirs)
-	var pkgs []*Package
-	for _, dir := range dirs {
-		path := l.importPathFor(dir)
-		pkg, err := l.load(path, dir)
-		if err != nil {
-			return nil, err
-		}
-		pkgs = append(pkgs, pkg)
-	}
-	return pkgs, nil
+	return dirs, nil
+}
+
+// Root returns the absolute module root directory.
+func (l *Loader) Root() string { return l.root }
+
+// Module returns the module path from go.mod.
+func (l *Loader) Module() string { return l.module }
+
+// PathFor returns the import path of the package in dir.
+func (l *Loader) PathFor(dir string) string { return l.importPathFor(dir) }
+
+// Load loads (or returns the cached) package in dir.
+func (l *Loader) Load(dir string) (*Package, error) {
+	return l.load(l.importPathFor(dir), dir)
 }
 
 func hasGoFiles(dir string) bool {
@@ -152,6 +182,16 @@ func hasGoFiles(dir string) bool {
 // type-sensitive analyzers.
 func includeFile(dir, name string) bool {
 	if !strings.HasSuffix(name, ".go") || strings.HasSuffix(name, "_test.go") {
+		return false
+	}
+	match, err := build.Default.MatchFile(dir, name)
+	return err == nil && match
+}
+
+// includeTestFile reports whether name is a _test.go file that builds on the
+// host.
+func includeTestFile(dir, name string) bool {
+	if !strings.HasSuffix(name, "_test.go") {
 		return false
 	}
 	match, err := build.Default.MatchFile(dir, name)
@@ -188,6 +228,23 @@ func (l *Loader) load(path, dir string) (*Package, error) {
 	}
 	if len(files) == 0 {
 		return nil, fmt.Errorf("lint: no non-test Go files in %s", dir)
+	}
+	if l.Tests {
+		pkgName := files[0].Name.Name
+		for _, e := range ents {
+			if e.IsDir() || !includeTestFile(dir, e.Name()) {
+				continue
+			}
+			f, err := parser.ParseFile(l.Fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+			if err != nil {
+				return nil, fmt.Errorf("lint: parse %s: %w", e.Name(), err)
+			}
+			// External test packages (package foo_test) cannot join foo in
+			// one type-check unit; only in-package test files are linted.
+			if f.Name.Name == pkgName {
+				files = append(files, f)
+			}
+		}
 	}
 	info := &types.Info{
 		Types:      make(map[ast.Expr]types.TypeAndValue),

@@ -11,8 +11,9 @@ import (
 // results are read. All fan-out must flow through parallel.For / the pool so
 // chunking — and therefore floating-point reduction order — is fixed.
 var NakedGo = &Analyzer{
-	Name: "nakedgo",
-	Doc:  "flags go statements outside internal/parallel; raw goroutines bypass the deterministic worker pool",
+	Name:  "nakedgo",
+	Doc:   "flags go statements outside internal/parallel; raw goroutines bypass the deterministic worker pool",
+	Tests: true,
 	Run: func(p *Pass) {
 		if strings.HasSuffix(p.PkgPath, "internal/parallel") {
 			return

@@ -1,0 +1,106 @@
+// Package datamut exercises the datamut analyzer: raw writes through a
+// tensor's Data slice are flagged unless the tensor is provably fresh (never
+// packable) or the enclosing declaration calls NoteMutation on it.
+package datamut
+
+import (
+	"ovs/internal/tensor"
+)
+
+// gradHolder mimics an autodiff node: Grad-selector provenance is safe.
+type gradHolder struct {
+	Grad *tensor.Tensor
+}
+
+// rawParamWrite writes through a parameter whose packability is unknown.
+func rawParamWrite(w *tensor.Tensor) {
+	w.Data[0] = 1 // want "raw write to w.Data bypasses the pack-cache mutation version"
+}
+
+// notedParamWrite is the sanctioned mutator pattern: the version bump makes
+// the write visible to the pack cache.
+func notedParamWrite(w *tensor.Tensor) {
+	w.NoteMutation()
+	w.Data[0] = 1
+}
+
+// freshLocalWrite stores into a constructor result: no packed panels can
+// exist for a tensor that has never left this frame.
+func freshLocalWrite() *tensor.Tensor {
+	t := tensor.Zeros(2, 2)
+	t.Data[0] = 1
+	return t
+}
+
+// freshKernelResultWrite stores into a freshly allocated kernel output.
+func freshKernelResultWrite(a, b *tensor.Tensor) *tensor.Tensor {
+	s := tensor.Add(a, b)
+	s.Data[0] += 1
+	return s
+}
+
+// aliasWrite reaches the parameter's data through a local alias; the
+// dataflow follows the binding.
+func aliasWrite(w *tensor.Tensor) {
+	d := w.Data
+	d[0] = 2 // want "raw write to w.Data bypasses the pack-cache mutation version"
+}
+
+// copyIntoParam clobbers the parameter wholesale without a version bump.
+func copyIntoParam(w *tensor.Tensor, src []float64) {
+	copy(w.Data, src) // want "raw write to w.Data bypasses the pack-cache mutation version"
+}
+
+// copyIntoFresh is fine: the destination was born here.
+func copyIntoFresh(src []float64) *tensor.Tensor {
+	t := tensor.New(len(src))
+	copy(t.Data, src)
+	return t
+}
+
+// inPlaceKernelAlias writes through the pass-through result of an in-place
+// kernel; the provenance (and the diagnostic) belongs to the underlying dst.
+func inPlaceKernelAlias(w *tensor.Tensor) {
+	v := tensor.ScaleInPlace(w, 2)
+	v.Data[0] = 1 // want "raw write to w.Data bypasses the pack-cache mutation version"
+}
+
+// notedInPlaceKernelAlias: noting the dst sanctions writes through the view.
+func notedInPlaceKernelAlias(w *tensor.Tensor) {
+	w.NoteMutation()
+	v := tensor.ScaleInPlace(w, 2)
+	v.Data[0] = 1
+}
+
+// gradWrite stores into a gradient, which is never marked packable.
+func gradWrite(n *gradHolder) {
+	n.Grad.Data[0] = 1
+}
+
+// mergeUnsafe joins a fresh path with a parameter path: the merged value is
+// only as safe as its least safe origin.
+func mergeUnsafe(w *tensor.Tensor, cond bool) {
+	t := tensor.Zeros(2)
+	if cond {
+		t = w
+	}
+	t.Data[0] = 3 // want "bypasses the pack-cache mutation version"
+}
+
+// closureNoted writes inside a worker closure; the single bump in the
+// enclosing declaration covers it (bumping per worker would race).
+func closureNoted(w *tensor.Tensor) {
+	w.NoteMutation()
+	run := func(i int) {
+		w.Data[i] = 0
+	}
+	run(0)
+}
+
+// closureUnnoted is the same shape without the bump.
+func closureUnnoted(w *tensor.Tensor) {
+	run := func(i int) {
+		w.Data[i] = 0 // want "raw write to w.Data bypasses the pack-cache mutation version"
+	}
+	run(0)
+}

@@ -67,6 +67,13 @@ func (s *Simulator) runMeso(d Demand) (*Result, error) {
 	// Accumulators for occupancy-weighted speed.
 	speedSum := tensor.New(m, cfg.Intervals)  // Σ speed·occupancy per step
 	weightSum := tensor.New(m, cfg.Intervals) // Σ occupancy per step
+	// The worker closures below write these accumulators through raw Data
+	// offsets (rows partition by link, so workers never collide); one bump
+	// here covers them all — bumping per worker would race on the version.
+	res.Volume.NoteMutation()
+	res.Speed.NoteMutation()
+	speedSum.NoteMutation()
+	weightSum.NoteMutation()
 
 	// Entry queues: vehicles waiting at their origin for space on the first
 	// link, FIFO per origin link.

@@ -94,6 +94,7 @@ func TestArenaConcurrentStress(t *testing.T) {
 	var wg sync.WaitGroup
 	for w := 0; w < workers; w++ {
 		wg.Add(1)
+		//ovslint:ignore nakedgo the stress test needs unsynchronized goroutines; parallel's deterministic chunking would serialize the contention under test
 		go func(tag float64) {
 			defer wg.Done()
 			rng := rand.New(rand.NewSource(int64(tag)))

@@ -252,6 +252,7 @@ func TestPackCacheParallelStress(t *testing.T) {
 			const workers = 8
 			for w := 0; w < workers; w++ {
 				wg.Add(1)
+				//ovslint:ignore nakedgo the stress test needs unsynchronized goroutines; parallel's deterministic chunking would serialize the contention under test
 				go func(w int) {
 					defer wg.Done()
 					for i := 0; i < 50; i++ {
