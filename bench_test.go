@@ -10,6 +10,7 @@
 package ovs_test
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"testing"
@@ -40,7 +41,7 @@ func benchScale() experiment.Scale {
 func BenchmarkTableVI(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.RunRealComparison(benchScale(), 1); err != nil {
+		if _, err := experiment.RunRealComparison(context.Background(), benchScale(), 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -51,7 +52,7 @@ func BenchmarkTableVI(b *testing.B) {
 func BenchmarkTableVII(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.RunRunningTime(benchScale(), 1); err != nil {
+		if _, err := experiment.RunRunningTime(context.Background(), benchScale(), 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -62,7 +63,7 @@ func BenchmarkTableVII(b *testing.B) {
 func BenchmarkTableVIII(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.RunSyntheticComparison(benchScale(), 1); err != nil {
+		if _, err := experiment.RunSyntheticComparison(context.Background(), benchScale(), 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -73,7 +74,7 @@ func BenchmarkTableVIII(b *testing.B) {
 func BenchmarkTableIX(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.RunAblation(benchScale(), 1); err != nil {
+		if _, err := experiment.RunAblation(context.Background(), benchScale(), 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -84,10 +85,10 @@ func BenchmarkTableIX(b *testing.B) {
 func BenchmarkTableX(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.RunCaseStudy1(benchScale(), 1); err != nil {
+		if _, err := experiment.RunCaseStudy1(context.Background(), benchScale(), 1); err != nil {
 			b.Fatal(err)
 		}
-		if _, err := experiment.RunCaseStudy2(benchScale(), 1); err != nil {
+		if _, err := experiment.RunCaseStudy2(context.Background(), benchScale(), 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -98,7 +99,7 @@ func BenchmarkTableX(b *testing.B) {
 func BenchmarkFigure9(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.RunScalability(benchScale(), []int{10, 50, 100}, 1); err != nil {
+		if _, err := experiment.RunScalability(context.Background(), benchScale(), []int{10, 50, 100}, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -111,7 +112,7 @@ func BenchmarkFigure10(b *testing.B) {
 	sc.ODPairs = 12
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.RunCensusConstraint(sc, 1); err != nil {
+		if _, err := experiment.RunCensusConstraint(context.Background(), sc, 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -121,7 +122,7 @@ func BenchmarkFigure10(b *testing.B) {
 func BenchmarkFigure11(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.RunRoadWork(benchScale(), 1); err != nil {
+		if _, err := experiment.RunRoadWork(context.Background(), benchScale(), 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -131,7 +132,7 @@ func BenchmarkFigure11(b *testing.B) {
 func BenchmarkFigure12(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.RunCaseStudy1(benchScale(), 1); err != nil {
+		if _, err := experiment.RunCaseStudy1(context.Background(), benchScale(), 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -141,7 +142,7 @@ func BenchmarkFigure12(b *testing.B) {
 func BenchmarkFigure13(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.RunCaseStudy2(benchScale(), 1); err != nil {
+		if _, err := experiment.RunCaseStudy2(context.Background(), benchScale(), 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -152,7 +153,7 @@ func BenchmarkFigure13(b *testing.B) {
 func BenchmarkRouteChoiceAblation(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.RunRouteChoice(benchScale(), 1); err != nil {
+		if _, err := experiment.RunRouteChoice(context.Background(), benchScale(), 1); err != nil {
 			b.Fatal(err)
 		}
 	}
@@ -163,7 +164,7 @@ func BenchmarkRouteChoiceAblation(b *testing.B) {
 func BenchmarkEngineCrossAblation(b *testing.B) {
 	b.ReportAllocs()
 	for i := 0; i < b.N; i++ {
-		if _, err := experiment.RunEngineCross(benchScale(), 1); err != nil {
+		if _, err := experiment.RunEngineCross(context.Background(), benchScale(), 1); err != nil {
 			b.Fatal(err)
 		}
 	}

@@ -21,7 +21,9 @@ package main
 import (
 	"bufio"
 	"bytes"
+	"context"
 	"encoding/json"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -59,6 +61,7 @@ func main() {
 	outPath := flag.String("o", "BENCH_7.json", "output JSON path")
 	maxAllocs := flag.String("maxallocs", "",
 		"comma-separated name=limit pairs, e.g. 'BenchmarkMatMul=16'; fail when a benchmark's allocs/op exceeds its limit (names matched exactly after stripping the -GOMAXPROCS suffix)")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no deadline)")
 	flag.Parse()
 
 	gates, err := parseAllocGates(*maxAllocs)
@@ -66,10 +69,17 @@ func main() {
 		fmt.Fprintln(os.Stderr, err)
 		os.Exit(2)
 	}
-	if err := run(*bench, *benchtime, *pkg, *outPath, gates); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+	ctx, cancel := cliutil.RootContext(*timeout)
+	if err := run(ctx, *bench, *benchtime, *pkg, *outPath, gates); err != nil {
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) || ctx.Err() != nil {
+			fmt.Fprintf(os.Stderr, "cancelled: %v\n", err)
+		} else {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		cancel()
 		os.Exit(1)
 	}
+	cancel()
 }
 
 // allocGate is one -maxallocs entry, kept in flag order so gate checking and
@@ -141,9 +151,11 @@ func checkAllocGates(results []Result, gates []allocGate) error {
 	return nil
 }
 
-func run(bench, benchtime, pkg, outPath string, gates []allocGate) error {
+func run(ctx context.Context, bench, benchtime, pkg, outPath string, gates []allocGate) error {
 	args := []string{"test", "-run", "^$", "-bench", bench, "-benchtime", benchtime, "-benchmem", pkg}
-	cmd := exec.Command("go", args...)
+	// CommandContext kills the harness subprocess on ^C / -timeout, so a
+	// cancelled benchmark run doesn't leave a stray `go test` behind.
+	cmd := exec.CommandContext(ctx, "go", args...)
 	var out bytes.Buffer
 	cmd.Stdout = &out
 	cmd.Stderr = os.Stderr

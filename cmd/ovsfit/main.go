@@ -20,6 +20,7 @@
 package main
 
 import (
+	"context"
 	"encoding/json"
 	"errors"
 	"flag"
@@ -61,6 +62,7 @@ func main() {
 	resume := flag.Bool("resume", false, "continue from the newest valid checkpoint in -checkpoint-dir")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no deadline)")
 	flag.Parse()
 
 	stopProfiles, err := cliutil.StartProfiles(*cpuProfile, *memProfile)
@@ -69,15 +71,21 @@ func main() {
 		os.Exit(1)
 	}
 
-	if err := run(*cityName, *train, *modelPath, *fitPath, *outPath, *scaleName, *seed, *ckptDir, *ckptEvery, *resume); err != nil {
-		if errors.Is(err, core.ErrInterrupted) {
+	ctx, cancel := cliutil.RootContext(*timeout)
+	if err := run(ctx, *cityName, *train, *modelPath, *fitPath, *outPath, *scaleName, *seed, *ckptDir, *ckptEvery, *resume); err != nil {
+		switch {
+		case errors.Is(err, core.ErrInterrupted):
 			fmt.Fprintf(os.Stderr, "interrupted: progress checkpointed in %s; rerun with -resume to continue\n", *ckptDir)
-		} else {
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintf(os.Stderr, "cancelled: %v\n", err)
+		default:
 			fmt.Fprintln(os.Stderr, err)
 		}
+		cancel()
 		stopProfiles()
 		os.Exit(1)
 	}
+	cancel()
 	stopProfiles()
 }
 
@@ -121,7 +129,7 @@ func readObservation(path string) (*tensor.Tensor, error) {
 	return obs, nil
 }
 
-func run(cityName string, train bool, modelPath, fitPath, outPath, scaleName string, seed int64, ckptDir string, ckptEvery int, resume bool) error {
+func run(ctx context.Context, cityName string, train bool, modelPath, fitPath, outPath, scaleName string, seed int64, ckptDir string, ckptEvery int, resume bool) error {
 	var sc experiment.Scale
 	switch scaleName {
 	case "test":
@@ -140,7 +148,7 @@ func run(cityName string, train bool, modelPath, fitPath, outPath, scaleName str
 	if err != nil {
 		return err
 	}
-	env, err := experiment.NewEnv(city, sc, seed)
+	env, err := experiment.NewEnv(ctx, city, sc, seed)
 	if err != nil {
 		return err
 	}
@@ -156,17 +164,17 @@ func run(cityName string, train bool, modelPath, fitPath, outPath, scaleName str
 			if err != nil {
 				return err
 			}
-			if _, _, err := ck.TrainMappings(env.Samples, sc.V2SEpochs, sc.T2VEpochs); err != nil {
+			if _, _, err := ck.TrainMappings(ctx, env.Samples, sc.V2SEpochs, sc.T2VEpochs); err != nil {
 				return err
 			}
 			if err := ck.Finish(core.StageTrained); err != nil {
 				return err
 			}
 		} else {
-			if _, err := model.TrainV2S(env.Samples, sc.V2SEpochs); err != nil {
+			if _, err := model.TrainV2SCtx(ctx, env.Samples, sc.V2SEpochs); err != nil {
 				return err
 			}
-			if _, err := model.TrainT2V(env.Samples, sc.T2VEpochs); err != nil {
+			if _, err := model.TrainT2VCtx(ctx, env.Samples, sc.T2VEpochs); err != nil {
 				return err
 			}
 		}
@@ -203,7 +211,7 @@ func run(cityName string, train bool, modelPath, fitPath, outPath, scaleName str
 		// Demo: synthesize a hidden observation window.
 		rng := rand.New(rand.NewSource(seed + 404))
 		truth = city.GroundTruthTOD(sc.Intervals, sc.GTScale, rng)
-		res, err := sim.New(city.Net, env.SimCfg).Run(sim.Demand{ODs: city.ODs, G: truth})
+		res, err := sim.New(city.Net, env.SimCfg).RunCtx(ctx, sim.Demand{ODs: city.ODs, G: truth})
 		if err != nil {
 			return err
 		}
@@ -221,7 +229,7 @@ func run(cityName string, train bool, modelPath, fitPath, outPath, scaleName str
 		if cerr != nil {
 			return cerr
 		}
-		rec, _, err = ck.FitBest(obs, sc.FitEpochs, 1, nil)
+		rec, _, err = ck.FitBest(ctx, obs, sc.FitEpochs, 1, nil)
 		if err != nil {
 			return err
 		}
@@ -229,7 +237,7 @@ func run(cityName string, train bool, modelPath, fitPath, outPath, scaleName str
 			return err
 		}
 	} else {
-		rec, _, err = model.Fit(obs, sc.FitEpochs, nil)
+		rec, _, err = model.FitCtx(ctx, obs, sc.FitEpochs, nil)
 		if err != nil {
 			return err
 		}
@@ -260,13 +268,14 @@ func run(cityName string, train bool, modelPath, fitPath, outPath, scaleName str
 	return nil
 }
 
-// checkpointer builds the configured Checkpointer, wiring SIGINT to a
-// graceful stop, and resumes from the newest valid checkpoint when asked.
+// checkpointer builds the configured Checkpointer and resumes from the
+// newest valid checkpoint when asked. Graceful stop comes from the run
+// context: SIGINT and -timeout both cancel it, and the training loops
+// checkpoint and exit at the next epoch boundary.
 func checkpointer(model *core.Model, dir string, every int, resume bool) (*core.Checkpointer, error) {
 	ck, err := core.NewCheckpointer(model, core.CkptOptions{
 		Dir:   dir,
 		Every: every,
-		Stop:  cliutil.NotifyInterrupt(),
 	})
 	if err != nil {
 		return nil, err

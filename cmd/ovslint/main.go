@@ -31,6 +31,7 @@ import (
 	"path/filepath"
 	"strings"
 
+	"ovs/internal/cliutil"
 	"ovs/internal/lint"
 )
 
@@ -42,7 +43,11 @@ func main() {
 	tests := flag.Bool("tests", false, "also lint in-package _test.go files (test-safe analyzers only)")
 	cacheFile := flag.String("cache", "", "path of the incremental cache file (empty disables caching)")
 	workers := flag.Int("workers", 0, "analysis worker count (0 = all cores)")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no deadline)")
 	flag.Parse()
+
+	ctx, cancel := cliutil.RootContext(*timeout)
+	defer cancel()
 
 	if *list {
 		for _, a := range lint.All() {
@@ -75,7 +80,7 @@ func main() {
 	loader.Tests = *tests
 
 	driver := &lint.Driver{Loader: loader, Analyzers: selected, Workers: *workers, CacheFile: *cacheFile}
-	results, err := driver.Run()
+	results, err := driver.RunCtx(ctx)
 	if err != nil {
 		fatal(err)
 	}

@@ -8,6 +8,7 @@
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
 	"io"
@@ -43,7 +44,13 @@ func main() {
 	outPath := flag.String("o", "", "write the network JSON here")
 	stats := flag.Bool("stats", true, "print network statistics")
 	seed := flag.Int64("seed", 1, "generation seed")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no deadline)")
 	flag.Parse()
+
+	// ovsnet has no long-running loops, but shares the fleet-wide ^C /
+	// -timeout contract: a cancelled context aborts before the output write.
+	ctx, cancel := cliutil.RootContext(*timeout)
+	defer cancel()
 
 	net, err := load(*cityName, *gridSpec, *osmPath, *netPath, *seed)
 	if err != nil {
@@ -54,6 +61,10 @@ func main() {
 		printStats(net)
 	}
 	if *outPath != "" {
+		if err := ctx.Err(); err != nil {
+			fmt.Fprintf(os.Stderr, "cancelled: %v\n", context.Cause(ctx))
+			os.Exit(1)
+		}
 		err := cliutil.WriteFileAtomic(*outPath, func(w io.Writer) error {
 			return trafficio.WriteNetwork(w, net)
 		})

@@ -9,6 +9,7 @@
 package main
 
 import (
+	"context"
 	"errors"
 	"flag"
 	"fmt"
@@ -33,19 +34,26 @@ func main() {
 	ckptDir := flag.String("checkpoint-dir", "", "write crash-safe training checkpoints into this directory (OVS only)")
 	ckptEvery := flag.Int("ckpt-every", 5, "checkpoint every N epochs (with -checkpoint-dir)")
 	resume := flag.Bool("resume", false, "continue from the newest valid checkpoint in -checkpoint-dir")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no deadline)")
 	flag.Parse()
 
-	if err := run(*cityName, *patternName, *method, *scaleName, *seed, *ckptDir, *ckptEvery, *resume); err != nil {
-		if errors.Is(err, core.ErrInterrupted) {
+	ctx, cancel := cliutil.RootContext(*timeout)
+	if err := run(ctx, *cityName, *patternName, *method, *scaleName, *seed, *ckptDir, *ckptEvery, *resume); err != nil {
+		switch {
+		case errors.Is(err, core.ErrInterrupted):
 			fmt.Fprintf(os.Stderr, "interrupted: progress checkpointed in %s; rerun with -resume to continue\n", *ckptDir)
-		} else {
+		case errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded):
+			fmt.Fprintf(os.Stderr, "cancelled: %v\n", err)
+		default:
 			fmt.Fprintln(os.Stderr, err)
 		}
+		cancel()
 		os.Exit(1)
 	}
+	cancel()
 }
 
-func run(cityName, patternName, method, scaleName string, seed int64, ckptDir string, ckptEvery int, resume bool) error {
+func run(ctx context.Context, cityName, patternName, method, scaleName string, seed int64, ckptDir string, ckptEvery int, resume bool) error {
 	var sc experiment.Scale
 	switch scaleName {
 	case "test":
@@ -66,7 +74,7 @@ func run(cityName, patternName, method, scaleName string, seed int64, ckptDir st
 		if cerr != nil {
 			return cerr
 		}
-		env, err = experiment.NewEnv(city, sc, seed)
+		env, err = experiment.NewEnv(ctx, city, sc, seed)
 	case patternName != "":
 		var pat dataset.Pattern
 		found := false
@@ -78,7 +86,7 @@ func run(cityName, patternName, method, scaleName string, seed int64, ckptDir st
 		if !found {
 			return fmt.Errorf("unknown pattern %q", patternName)
 		}
-		env, err = experiment.NewSyntheticEnv(pat, sc, seed)
+		env, err = experiment.NewSyntheticEnv(ctx, pat, sc, seed)
 	default:
 		return fmt.Errorf("one of -city or -pattern is required")
 	}
@@ -95,10 +103,10 @@ func run(cityName, patternName, method, scaleName string, seed int64, ckptDir st
 		var tod *tensor.Tensor
 		var elapsed time.Duration
 		if ckptDir != "" {
-			opts := core.CkptOptions{Dir: ckptDir, Every: ckptEvery, Stop: cliutil.NotifyInterrupt()}
+			opts := core.CkptOptions{Dir: ckptDir, Every: ckptEvery}
 			var resumedFrom string
 			var oerr error
-			tod, _, elapsed, resumedFrom, oerr = env.RunOVSCkpt(nil, opts, resume)
+			tod, _, elapsed, resumedFrom, oerr = env.RunOVSCkpt(ctx, nil, opts, resume)
 			if resumedFrom != "" {
 				fmt.Printf("resumed from %s\n", resumedFrom)
 			}
@@ -107,13 +115,13 @@ func run(cityName, patternName, method, scaleName string, seed int64, ckptDir st
 			}
 		} else {
 			var oerr error
-			tod, _, elapsed, oerr = env.RunOVS(nil)
+			tod, _, elapsed, oerr = env.RunOVS(ctx, nil)
 			if oerr != nil {
 				return oerr
 			}
 		}
 		fmt.Printf("OVS trained and fitted in %s\n", elapsed.Round(time.Millisecond))
-		triple, eerr := env.Evaluate(tod)
+		triple, eerr := env.Evaluate(ctx, tod)
 		if eerr != nil {
 			return eerr
 		}
@@ -130,12 +138,12 @@ func run(cityName, patternName, method, scaleName string, seed int64, ckptDir st
 	if m == nil {
 		return fmt.Errorf("unknown method %q", method)
 	}
-	tod, rerr := m.Recover(env.Context())
+	tod, rerr := m.Recover(env.Context(ctx))
 	if rerr != nil {
 		return rerr
 	}
 	fmt.Printf("%s recovered in %s\n", m.Name(), time.Since(start).Round(time.Millisecond))
-	triple, eerr := env.Evaluate(tod)
+	triple, eerr := env.Evaluate(ctx, tod)
 	if eerr != nil {
 		return eerr
 	}

@@ -13,6 +13,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
@@ -41,16 +43,24 @@ func main() {
 	signals := flag.Bool("signals", false, "add fixed-time signals at major intersections")
 	seed := flag.Int64("seed", 1, "simulation seed")
 	outPath := flag.String("o", "", "output JSON path (default stdout)")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no deadline)")
 	flag.Parse()
 
-	if err := run(*cityName, *gridSpec, *netPath, *demandPath, *patternName,
+	ctx, cancel := cliutil.RootContext(*timeout)
+	if err := run(ctx, *cityName, *gridSpec, *netPath, *demandPath, *patternName,
 		*scale, *intervals, *intervalSec, *engine, *routing, *signals, *seed, *outPath); err != nil {
-		fmt.Fprintln(os.Stderr, err)
+		if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+			fmt.Fprintf(os.Stderr, "cancelled: %v\n", err)
+		} else {
+			fmt.Fprintln(os.Stderr, err)
+		}
+		cancel()
 		os.Exit(1)
 	}
+	cancel()
 }
 
-func run(cityName, gridSpec, netPath, demandPath, patternName string,
+func run(ctx context.Context, cityName, gridSpec, netPath, demandPath, patternName string,
 	scale float64, intervals int, intervalSec float64,
 	engineName, routingName string, signals bool, seed int64, outPath string) error {
 
@@ -150,7 +160,7 @@ func run(cityName, gridSpec, netPath, demandPath, patternName string,
 	if signals {
 		cfg.Signals = sim.UniformSignals(net, 60, 3)
 	}
-	res, err := sim.New(net, cfg).Run(demand)
+	res, err := sim.New(net, cfg).RunCtx(ctx, demand)
 	if err != nil {
 		return err
 	}

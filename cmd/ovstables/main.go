@@ -12,6 +12,8 @@
 package main
 
 import (
+	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"os"
@@ -31,6 +33,7 @@ func main() {
 	fig9Sizes := flag.String("fig9sizes", "10,50,100", "comma-separated intersection counts for fig9")
 	cpuProfile := flag.String("cpuprofile", "", "write a CPU profile to this file")
 	memProfile := flag.String("memprofile", "", "write a heap profile to this file on exit")
+	timeout := flag.Duration("timeout", 0, "cancel the run after this duration (0 = no deadline)")
 	flag.Parse()
 
 	stopProfiles, err := cliutil.StartProfiles(*cpuProfile, *memProfile)
@@ -39,6 +42,9 @@ func main() {
 		os.Exit(1)
 	}
 	defer stopProfiles()
+
+	ctx, cancel := cliutil.RootContext(*timeout)
+	defer cancel()
 
 	parallel.SetWorkers(*workers)
 
@@ -62,8 +68,13 @@ func main() {
 	}
 	for _, id := range ids {
 		start := time.Now()
-		if err := run(strings.TrimSpace(id), sc, *seed, parseSizes(*fig9Sizes)); err != nil {
-			fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+		if err := run(ctx, strings.TrimSpace(id), sc, *seed, parseSizes(*fig9Sizes)); err != nil {
+			if errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded) {
+				fmt.Fprintf(os.Stderr, "%s: cancelled: %v\n", id, err)
+			} else {
+				fmt.Fprintf(os.Stderr, "%s: %v\n", id, err)
+			}
+			cancel()
 			stopProfiles()
 			os.Exit(1)
 		}
@@ -82,38 +93,38 @@ func parseSizes(s string) []int {
 	return out
 }
 
-func run(id string, sc experiment.Scale, seed int64, fig9Sizes []int) error {
+func run(ctx context.Context, id string, sc experiment.Scale, seed int64, fig9Sizes []int) error {
 	switch id {
 	case "tablevi":
-		results, err := experiment.RunRealComparison(sc, seed)
+		results, err := experiment.RunRealComparison(ctx, sc, seed)
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiment.RenderComparison("Table VI: RMSE on real datasets", results))
 	case "tablevii":
-		res, err := experiment.RunRunningTime(sc, seed)
+		res, err := experiment.RunRunningTime(ctx, sc, seed)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res.Render())
 	case "tableviii":
-		results, err := experiment.RunSyntheticComparison(sc, seed)
+		results, err := experiment.RunSyntheticComparison(ctx, sc, seed)
 		if err != nil {
 			return err
 		}
 		fmt.Println(experiment.RenderComparison("Table VIII: RMSE on synthetic patterns", results))
 	case "tableix":
-		res, err := experiment.RunAblation(sc, seed)
+		res, err := experiment.RunAblation(ctx, sc, seed)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res.Render())
 	case "tablex":
-		cs1, err := experiment.RunCaseStudy1(sc, seed)
+		cs1, err := experiment.RunCaseStudy1(ctx, sc, seed)
 		if err != nil {
 			return err
 		}
-		cs2, err := experiment.RunCaseStudy2(sc, seed)
+		cs2, err := experiment.RunCaseStudy2(ctx, sc, seed)
 		if err != nil {
 			return err
 		}
@@ -121,49 +132,49 @@ func run(id string, sc experiment.Scale, seed int64, fig9Sizes []int) error {
 		fmt.Println(cs1.Render())
 		fmt.Println(cs2.Render())
 	case "fig9":
-		res, err := experiment.RunScalability(sc, fig9Sizes, seed)
+		res, err := experiment.RunScalability(ctx, sc, fig9Sizes, seed)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res.Render())
 	case "fig10":
-		res, err := experiment.RunCensusConstraint(sc, seed)
+		res, err := experiment.RunCensusConstraint(ctx, sc, seed)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res.Render())
 	case "fig11":
-		res, err := experiment.RunRoadWork(sc, seed)
+		res, err := experiment.RunRoadWork(ctx, sc, seed)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res.Render())
 	case "fig12":
-		res, err := experiment.RunCaseStudy1(sc, seed)
+		res, err := experiment.RunCaseStudy1(ctx, sc, seed)
 		if err != nil {
 			return err
 		}
 		fmt.Println("Figure 12: " + res.Render())
 	case "fig13":
-		res, err := experiment.RunCaseStudy2(sc, seed)
+		res, err := experiment.RunCaseStudy2(ctx, sc, seed)
 		if err != nil {
 			return err
 		}
 		fmt.Println("Figure 13: " + res.Render())
 	case "routechoice":
-		res, err := experiment.RunRouteChoice(sc, seed)
+		res, err := experiment.RunRouteChoice(ctx, sc, seed)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res.Render())
 	case "enginecross":
-		res, err := experiment.RunEngineCross(sc, seed)
+		res, err := experiment.RunEngineCross(ctx, sc, seed)
 		if err != nil {
 			return err
 		}
 		fmt.Println(res.Render())
 	case "noise":
-		res, err := experiment.RunNoiseRobustness(sc, nil, seed)
+		res, err := experiment.RunNoiseRobustness(ctx, sc, nil, seed)
 		if err != nil {
 			return err
 		}

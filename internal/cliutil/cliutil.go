@@ -2,6 +2,7 @@
 package cliutil
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"os"
@@ -9,7 +10,7 @@ import (
 	"path/filepath"
 	"runtime"
 	"runtime/pprof"
-	"sync"
+	"time"
 )
 
 // CloseWith closes c and, when closing fails while *errp is still nil,
@@ -87,31 +88,37 @@ func syncDir(dir string) (err error) {
 	return d.Sync()
 }
 
-// NotifyInterrupt installs a SIGINT handler and returns a poll function that
-// reports (sticky, without blocking) whether an interrupt has arrived. Long
-// training loops poll it between epochs to write a final checkpoint and exit
-// cleanly instead of dying mid-write; the poll is safe to call from multiple
-// goroutines (concurrent fit restarts poll it too). After the first interrupt
-// is observed the handler is removed, so a second Ctrl-C kills the process
-// immediately — the escape hatch when the final checkpoint itself hangs.
-func NotifyInterrupt() func() bool {
-	ch := make(chan os.Signal, 1)
-	signal.Notify(ch, os.Interrupt)
-	var mu sync.Mutex
-	seen := false
-	return func() bool {
-		mu.Lock()
-		defer mu.Unlock()
-		if seen {
-			return true
-		}
-		select {
-		case <-ch:
-			seen = true
-			signal.Stop(ch)
-		default:
-		}
-		return seen
+// InterruptContext returns a child of parent that is cancelled by the first
+// SIGINT. Long-running loops observe the cancellation at their next safe
+// point (epoch / restart / simulator-interval boundary), write a final
+// checkpoint, and exit cleanly instead of dying mid-write. The moment the
+// context is cancelled — by the signal or by the parent — the handler is
+// unregistered via context.AfterFunc, restoring the default disposition so a
+// second Ctrl-C kills the process immediately: the escape hatch when the
+// final checkpoint itself hangs. One signal wiring covers both behaviors.
+//
+// The returned stop function releases the signal registration early; defer
+// it from main.
+func InterruptContext(parent context.Context) (context.Context, context.CancelFunc) {
+	ctx, stop := signal.NotifyContext(parent, os.Interrupt)
+	context.AfterFunc(ctx, stop)
+	return ctx, stop
+}
+
+// RootContext builds the root context every CLI runs under: cancelled by the
+// first SIGINT (InterruptContext semantics, second ^C hard-kills) and, when
+// timeout > 0, by the deadline of a -timeout flag. The returned cancel
+// releases both registrations.
+func RootContext(timeout time.Duration) (context.Context, context.CancelFunc) {
+	ctx := context.Background()
+	cancel := context.CancelFunc(func() {})
+	if timeout > 0 {
+		ctx, cancel = context.WithTimeout(ctx, timeout)
+	}
+	ictx, stop := InterruptContext(ctx)
+	return ictx, func() {
+		stop()
+		cancel()
 	}
 }
 

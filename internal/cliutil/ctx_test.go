@@ -1,0 +1,177 @@
+package cliutil
+
+import (
+	"bufio"
+	"context"
+	"errors"
+	"fmt"
+	"os"
+	"os/exec"
+	"syscall"
+	"testing"
+	"time"
+)
+
+func TestRootContextNoTimeoutHasNoDeadline(t *testing.T) {
+	ctx, cancel := RootContext(0)
+	defer cancel()
+	if _, ok := ctx.Deadline(); ok {
+		t.Fatal("RootContext(0) set a deadline")
+	}
+	if ctx.Err() != nil {
+		t.Fatalf("fresh context already cancelled: %v", ctx.Err())
+	}
+}
+
+func TestRootContextTimeoutExpires(t *testing.T) {
+	ctx, cancel := RootContext(20 * time.Millisecond)
+	defer cancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("RootContext timeout never fired")
+	}
+	if !errors.Is(context.Cause(ctx), context.DeadlineExceeded) {
+		t.Fatalf("cause = %v, want DeadlineExceeded", context.Cause(ctx))
+	}
+}
+
+func TestRootContextCancelReleases(t *testing.T) {
+	ctx, cancel := RootContext(time.Hour)
+	cancel()
+	if ctx.Err() == nil {
+		t.Fatal("context still live after cancel")
+	}
+}
+
+func TestInterruptContextParentCancellation(t *testing.T) {
+	parent, pcancel := context.WithCancel(context.Background())
+	ctx, stop := InterruptContext(parent)
+	defer stop()
+	pcancel()
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("child did not observe parent cancellation")
+	}
+}
+
+func TestInterruptContextCancelledBySIGINT(t *testing.T) {
+	ctx, stop := InterruptContext(context.Background())
+	defer stop()
+	if err := syscall.Kill(os.Getpid(), syscall.SIGINT); err != nil {
+		t.Fatal(err)
+	}
+	select {
+	case <-ctx.Done():
+	case <-time.After(5 * time.Second):
+		t.Fatal("SIGINT did not cancel the interrupt context")
+	}
+}
+
+// TestDoubleInterruptHardKills is the regression test for the two-stage ^C
+// contract: the first SIGINT cancels the context (graceful path), and —
+// because InterruptContext unregisters the handler the moment the context is
+// cancelled — the second SIGINT gets the default disposition and kills the
+// process outright even though the program is stuck past cancellation.
+//
+// The child is this test binary re-executed with CLIUTIL_INTERRUPT_CHILD=1
+// (see TestMain below); it prints "ready", waits for the first signal, prints
+// "cancelled", then simulates a hung shutdown.
+func TestDoubleInterruptHardKills(t *testing.T) {
+	if os.Getenv("CLIUTIL_INTERRUPT_CHILD") != "" {
+		t.Skip("child mode runs in TestMain")
+	}
+	exe, err := os.Executable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd := exec.Command(exe, "-test.run", "TestDoubleInterruptHardKills")
+	cmd.Env = append(os.Environ(), "CLIUTIL_INTERRUPT_CHILD=1")
+	stdout, err := cmd.StdoutPipe()
+	if err != nil {
+		t.Fatal(err)
+	}
+	cmd.Stderr = os.Stderr
+	if err := cmd.Start(); err != nil {
+		t.Fatal(err)
+	}
+	defer cmd.Process.Kill() //ovslint:ignore ignorederr hang-guard kill on an already-dead process is expected to fail
+
+	lines := bufio.NewScanner(stdout)
+	waitLine := func(want string) {
+		deadline := time.AfterFunc(10*time.Second, func() { cmd.Process.Kill() }) //ovslint:ignore ignorederr hang-guard kill; failure only means the child already died
+		defer deadline.Stop()
+		for lines.Scan() {
+			if lines.Text() == want {
+				return
+			}
+		}
+		t.Fatalf("child exited before printing %q", want)
+	}
+
+	waitLine("ready")
+	if err := cmd.Process.Signal(os.Interrupt); err != nil {
+		t.Fatal(err)
+	}
+	waitLine("cancelled")
+
+	// The AfterFunc's unregistration runs concurrently with the "cancelled"
+	// print, so a single second signal could race it and be swallowed by the
+	// still-registered handler. Keep nudging: once the registration is gone,
+	// the next SIGINT takes the default disposition and kills the child.
+	done := make(chan error, 1)
+	go func() { done <- cmd.Wait() }() //ovslint:ignore nakedgo single reaper joined via the done channel on every path; the pool cannot wrap a blocking Wait
+	ticker := time.NewTicker(100 * time.Millisecond)
+	defer ticker.Stop()
+	giveUp := time.After(8 * time.Second)
+	var werr error
+collect:
+	for {
+		// Signalling a child that just died fails harmlessly; the wait
+		// status below is what the test judges.
+		cmd.Process.Signal(os.Interrupt) //ovslint:ignore ignorederr racing the child's death is the point of the loop
+		select {
+		case werr = <-done:
+			break collect
+		case <-ticker.C:
+		case <-giveUp:
+			cmd.Process.Kill() //ovslint:ignore ignorederr best-effort cleanup before failing the test
+			<-done
+			t.Fatal("child survived repeated SIGINTs after cancellation")
+		}
+	}
+	err = werr
+	if err == nil {
+		t.Fatal("child exited cleanly; the second SIGINT should have killed it")
+	}
+	var exitErr *exec.ExitError
+	if !errors.As(err, &exitErr) {
+		t.Fatalf("wait: %v", err)
+	}
+	ws, ok := exitErr.Sys().(syscall.WaitStatus)
+	if !ok {
+		t.Fatalf("no wait status in %v", exitErr)
+	}
+	if !ws.Signaled() || ws.Signal() != syscall.SIGINT {
+		t.Fatalf("child died with status %v, want death by SIGINT", exitErr)
+	}
+}
+
+// TestMain intercepts the re-exec of the double-interrupt child before the
+// test harness takes over, so the child's SIGINT disposition is exactly what
+// InterruptContext set up — not the harness's.
+func TestMain(m *testing.M) {
+	if os.Getenv("CLIUTIL_INTERRUPT_CHILD") == "" {
+		os.Exit(m.Run())
+	}
+	ctx, stop := InterruptContext(context.Background())
+	defer stop()
+	fmt.Println("ready")
+	<-ctx.Done()
+	fmt.Println("cancelled")
+	// Simulate a shutdown that hangs after the graceful cancellation: only
+	// the second ^C's hard kill can end the process before this guard exit.
+	time.Sleep(10 * time.Second)
+	os.Exit(42)
+}

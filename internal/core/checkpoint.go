@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"sync"
@@ -12,8 +13,9 @@ import (
 )
 
 // ErrInterrupted is returned by checkpointed training entry points when
-// CkptOptions.Stop fires. A checkpoint has been written by the time it
-// surfaces; rerunning with resume continues where the run stopped.
+// CkptOptions.Stop fires or the run's context is cancelled. A checkpoint has
+// been written by the time it surfaces; rerunning with resume continues
+// where the run stopped.
 var ErrInterrupted = errors.New("core: run interrupted; checkpoint written")
 
 // Pipeline stage names recorded in checkpoints. A snapshot in stage S with
@@ -52,7 +54,9 @@ type CkptOptions struct {
 	Keep int
 	// Stop is polled between epochs and restarts; once it reports true, a
 	// final checkpoint is written and the run returns ErrInterrupted. It must
-	// be safe to call from multiple goroutines.
+	// be safe to call from multiple goroutines. Context cancellation takes
+	// the exact same path: Stop firing and ctx cancellation are observed at
+	// the same boundaries and write identical checkpoints.
 	Stop func() bool
 }
 
@@ -135,15 +139,15 @@ func (c *Checkpointer) restoreSnapshot(snap *ckpt.Snapshot) error {
 // TrainMappings runs the two mapping stages (TrainV2S then TrainT2V) with
 // periodic checkpoints, resuming either stage mid-flight when a snapshot is
 // pending. It returns both loss curves.
-func (c *Checkpointer) TrainMappings(samples []Sample, v2sEpochs, t2vEpochs int) ([]float64, []float64, error) {
-	v2s, err := c.runEpochStage(StageV2S, v2sEpochs, func(start int, hist []float64, opt *nn.Adam, hook stageHook) ([]float64, error) {
-		return c.m.trainV2S(samples, v2sEpochs, start, hist, opt, hook)
+func (c *Checkpointer) TrainMappings(ctx context.Context, samples []Sample, v2sEpochs, t2vEpochs int) ([]float64, []float64, error) {
+	v2s, err := c.runEpochStage(ctx, StageV2S, v2sEpochs, func(start int, hist []float64, opt *nn.Adam, hook stageHook) ([]float64, error) {
+		return c.m.trainV2S(ctx, samples, v2sEpochs, start, hist, opt, hook)
 	}, c.m.V2S.Params())
 	if err != nil {
 		return v2s, nil, err
 	}
-	t2v, err := c.runEpochStage(StageT2V, t2vEpochs, func(start int, hist []float64, opt *nn.Adam, hook stageHook) ([]float64, error) {
-		return c.m.trainT2V(samples, t2vEpochs, start, hist, opt, hook)
+	t2v, err := c.runEpochStage(ctx, StageT2V, t2vEpochs, func(start int, hist []float64, opt *nn.Adam, hook stageHook) ([]float64, error) {
+		return c.m.trainT2V(ctx, samples, t2vEpochs, start, hist, opt, hook)
 	}, c.m.T2V.Params())
 	return v2s, t2v, err
 }
@@ -152,12 +156,12 @@ func (c *Checkpointer) TrainMappings(samples []Sample, v2sEpochs, t2vEpochs int)
 // per epoch, multi-restart fits per completed restart (a restart interrupted
 // mid-fit is discarded and refitted on resume from its recorded entry
 // state, so the outcome is unchanged).
-func (c *Checkpointer) FitBest(speedObs *tensor.Tensor, epochs, restarts int, aux *AuxData) (*tensor.Tensor, []float64, error) {
+func (c *Checkpointer) FitBest(ctx context.Context, speedObs *tensor.Tensor, epochs, restarts int, aux *AuxData) (*tensor.Tensor, []float64, error) {
 	if restarts <= 1 {
 		restore := freezeParams(append(c.m.T2V.Params(), c.m.V2S.Params()...))
 		defer restore()
-		hist, err := c.runEpochStage(StageFit, epochs, func(start int, h []float64, opt *nn.Adam, hook stageHook) ([]float64, error) {
-			return c.m.fitGenFrom(c.m.TODGen, speedObs, epochs, start, h, opt, aux, hook)
+		hist, err := c.runEpochStage(ctx, StageFit, epochs, func(start int, h []float64, opt *nn.Adam, hook stageHook) ([]float64, error) {
+			return c.m.fitGenFrom(ctx, c.m.TODGen, speedObs, epochs, start, h, opt, aux, hook)
 		}, c.m.TODGen.Params())
 		if err != nil {
 			return nil, hist, err
@@ -193,7 +197,7 @@ func (c *Checkpointer) FitBest(speedObs *tensor.Tensor, epochs, restarts int, au
 	var recMu sync.Mutex
 	ctl := &restartCtl{
 		restored: restored,
-		stop:     c.stopRequested,
+		stop:     func() bool { return c.stopRequested(ctx) },
 		onDone: func(r int, state []*tensor.Tensor, hist []float64) error {
 			recMu.Lock()
 			defer recMu.Unlock()
@@ -205,7 +209,7 @@ func (c *Checkpointer) FitBest(speedObs *tensor.Tensor, epochs, restarts int, au
 			return c.write(StageFitRestarts, 0, nil, nil, recs, entry)
 		},
 	}
-	tod, hist, err := c.m.fitBest(speedObs, epochs, restarts, aux, ctl)
+	tod, hist, err := c.m.fitBest(ctx, speedObs, epochs, restarts, aux, ctl)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -227,12 +231,12 @@ type TrainResult struct {
 // (multi-restart) fit, and a terminal "done" checkpoint capturing the final
 // state. Resuming a completed run reproduces the same result without
 // retraining.
-func (c *Checkpointer) TrainFull(samples []Sample, speedObs *tensor.Tensor, v2sEpochs, t2vEpochs, fitEpochs int, aux *AuxData) (*TrainResult, error) {
-	v2s, t2v, err := c.TrainMappings(samples, v2sEpochs, t2vEpochs)
+func (c *Checkpointer) TrainFull(ctx context.Context, samples []Sample, speedObs *tensor.Tensor, v2sEpochs, t2vEpochs, fitEpochs int, aux *AuxData) (*TrainResult, error) {
+	v2s, t2v, err := c.TrainMappings(ctx, samples, v2sEpochs, t2vEpochs)
 	if err != nil {
 		return nil, err
 	}
-	tod, fit, err := c.FitBest(speedObs, fitEpochs, c.m.Cfg.FitRestarts, aux)
+	tod, fit, err := c.FitBest(ctx, speedObs, fitEpochs, c.m.Cfg.FitRestarts, aux)
 	if err != nil {
 		return nil, err
 	}
@@ -286,7 +290,7 @@ func (c *Checkpointer) stageEntry(stage string) (snap *ckpt.Snapshot, skipHist [
 // machinery: resolve the entry point, rebuild the optimizer (importing its
 // checkpointed slot state bound to the stage's parameters), run with the
 // periodic hook, and record the completed curve.
-func (c *Checkpointer) runEpochStage(stage string, epochs int, run func(start int, hist []float64, opt *nn.Adam, hook stageHook) ([]float64, error), params []*autodiff.Parameter) ([]float64, error) {
+func (c *Checkpointer) runEpochStage(ctx context.Context, stage string, epochs int, run func(start int, hist []float64, opt *nn.Adam, hook stageHook) ([]float64, error), params []*autodiff.Parameter) ([]float64, error) {
 	snap, skipHist, skip, err := c.stageEntry(stage)
 	if err != nil {
 		return nil, err
@@ -306,7 +310,7 @@ func (c *Checkpointer) runEpochStage(stage string, epochs int, run func(start in
 			}
 		}
 	}
-	h, err := run(start, hist, opt, c.epochHook(stage, epochs))
+	h, err := run(start, hist, opt, c.epochHook(ctx, stage, epochs))
 	if err != nil {
 		return h, err
 	}
@@ -318,11 +322,14 @@ func (c *Checkpointer) runEpochStage(stage string, epochs int, run func(start in
 
 // epochHook returns the per-epoch callback for one stage: it checkpoints on
 // the configured cadence, at the stage boundary, and on interrupt — in the
-// interrupt case converting the stop request into ErrInterrupted after the
-// checkpoint is safely on disk.
-func (c *Checkpointer) epochHook(stage string, epochs int) stageHook {
+// interrupt case converting the stop request (or ctx cancellation, which is
+// deliberately indistinguishable here) into ErrInterrupted after the
+// checkpoint is safely on disk. Because the hook runs before the training
+// core's own ctx check, a cancelled checkpointed run always exits through
+// this path with its final checkpoint written.
+func (c *Checkpointer) epochHook(ctx context.Context, stage string, epochs int) stageHook {
 	return func(done int, hist []float64, opt nn.StatefulOptimizer) error {
-		stopped := c.stopRequested()
+		stopped := c.stopRequested(ctx)
 		boundary := done == epochs
 		periodic := c.opts.Every > 0 && done%c.opts.Every == 0
 		if !stopped && !boundary && !periodic {
@@ -338,9 +345,12 @@ func (c *Checkpointer) epochHook(stage string, epochs int) stageHook {
 	}
 }
 
-// stopRequested polls the configured interrupt signal.
-func (c *Checkpointer) stopRequested() bool {
-	return c.opts.Stop != nil && c.opts.Stop()
+// stopRequested polls the configured interrupt signal and the run's context.
+// Both feed the same checkpoint-then-ErrInterrupted sequence, which is what
+// makes a ctx-cancelled run's final checkpoint bitwise-identical to a
+// Stop-interrupted one at the same boundary.
+func (c *Checkpointer) stopRequested(ctx context.Context) bool {
+	return (c.opts.Stop != nil && c.opts.Stop()) || ctx.Err() != nil
 }
 
 // write captures the model's current state into a snapshot and persists it.

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"os"
 	"reflect"
@@ -47,7 +48,7 @@ func referenceTrainFull(t *testing.T, topo *Topology, cfg Config, samples []Samp
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := c.TrainFull(samples, obs, 3, 3, 2, nil)
+	res, err := c.TrainFull(context.Background(), samples, obs, 3, 3, 2, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -69,7 +70,7 @@ func interruptedTrainFull(t *testing.T, topo *Topology, cfg Config, samples []Sa
 		if _, err := c.Resume(); err != nil {
 			t.Fatalf("attempt %d: resume: %v", attempt, err)
 		}
-		res, err := c.TrainFull(samples, obs, 3, 3, 2, nil)
+		res, err := c.TrainFull(context.Background(), samples, obs, 3, 3, 2, nil)
 		if err == nil {
 			return res, attempt
 		}
@@ -201,7 +202,7 @@ func TestResumeSurvivesCorruptNewestCheckpoint(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.TrainFull(samples, obs, 3, 3, 2, nil); !errors.Is(err, ErrInterrupted) {
+	if _, err := c.TrainFull(context.Background(), samples, obs, 3, 3, 2, nil); !errors.Is(err, ErrInterrupted) {
 		t.Fatalf("expected interrupt, got %v", err)
 	}
 	// Truncate the newest checkpoint mid-file.
@@ -236,7 +237,7 @@ func TestTrainedTerminalResume(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	v2s1, t2v1, err := c1.TrainMappings(samples, 3, 3)
+	v2s1, t2v1, err := c1.TrainMappings(context.Background(), samples, 3, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -260,7 +261,7 @@ func TestTrainedTerminalResume(t *testing.T) {
 	if path == "" {
 		t.Fatal("Resume found no checkpoint")
 	}
-	v2s2, t2v2, err := c2.TrainMappings(samples, 3, 3)
+	v2s2, t2v2, err := c2.TrainMappings(context.Background(), samples, 3, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -308,7 +309,7 @@ func TestStageMismatchRejected(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if _, err := c.TrainFull(samples, obs, 3, 3, 2, nil); !errors.Is(err, ErrInterrupted) {
+	if _, err := c.TrainFull(context.Background(), samples, obs, 3, 3, 2, nil); !errors.Is(err, ErrInterrupted) {
 		t.Fatalf("expected interrupt in the fit stage, got %v", err)
 	}
 	snap, _, err := ckpt.Latest(dir)
@@ -327,7 +328,7 @@ func TestStageMismatchRejected(t *testing.T) {
 	if _, err := c2.Resume(); err != nil {
 		t.Fatal(err)
 	}
-	if _, _, err := c2.FitBest(fitObs(m2, 12), 2, 3, nil); err == nil {
+	if _, _, err := c2.FitBest(context.Background(), fitObs(m2, 12), 2, 3, nil); err == nil {
 		t.Fatal("resuming a fit checkpoint into a multi-restart fit did not error")
 	}
 }

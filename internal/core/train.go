@@ -1,6 +1,7 @@
 package core
 
 import (
+	"context"
 	"errors"
 	"fmt"
 	"math"
@@ -22,12 +23,22 @@ type stageHook func(done int, hist []float64, opt nn.StatefulOptimizer) error
 // mapping on generated (volume, speed) pairs. It returns the per-epoch mean
 // loss curve.
 func (m *Model) TrainV2S(samples []Sample, epochs int) ([]float64, error) {
-	return m.trainV2S(samples, epochs, 0, nil, nn.NewAdam(m.Cfg.LR), nil)
+	return m.TrainV2SCtx(context.Background(), samples, epochs)
+}
+
+// TrainV2SCtx is TrainV2S with cooperative cancellation: ctx is observed
+// only at epoch boundaries, so the epochs completed before a cancelled
+// return are bitwise-identical to an uncancelled run's prefix. A cancelled
+// call returns the partial history with the context's cancellation cause.
+func (m *Model) TrainV2SCtx(ctx context.Context, samples []Sample, epochs int) ([]float64, error) {
+	return m.trainV2S(ctx, samples, epochs, 0, nil, nn.NewAdam(m.Cfg.LR), nil)
 }
 
 // trainV2S is the resumable core of TrainV2S: it continues from start
 // completed epochs with the given optimizer and accumulated history.
-func (m *Model) trainV2S(samples []Sample, epochs, start int, hist []float64, opt *nn.Adam, hook stageHook) ([]float64, error) {
+// Cancellation is observed after the per-epoch hook, so a checkpointing hook
+// gets to convert it into a durable checkpoint + ErrInterrupted first.
+func (m *Model) trainV2S(ctx context.Context, samples []Sample, epochs, start int, hist []float64, opt *nn.Adam, hook stageHook) ([]float64, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("core: TrainV2S requires samples")
 	}
@@ -57,6 +68,9 @@ func (m *Model) trainV2S(samples []Sample, epochs, start int, hist []float64, op
 				return history, err
 			}
 		}
+		if ctx.Err() != nil {
+			return history, context.Cause(ctx)
+		}
 	}
 	return history, nil
 }
@@ -66,11 +80,17 @@ func (m *Model) trainV2S(samples []Sample, epochs, start int, hist []float64, op
 // speed (plus optional direct volume supervision weighted by
 // Cfg.VolumeLossWeight; the paper's protocol corresponds to weight 0).
 func (m *Model) TrainT2V(samples []Sample, epochs int) ([]float64, error) {
-	return m.trainT2V(samples, epochs, 0, nil, nn.NewAdam(m.Cfg.LR), nil)
+	return m.TrainT2VCtx(context.Background(), samples, epochs)
+}
+
+// TrainT2VCtx is TrainT2V with cooperative cancellation at epoch boundaries
+// (see TrainV2SCtx).
+func (m *Model) TrainT2VCtx(ctx context.Context, samples []Sample, epochs int) ([]float64, error) {
+	return m.trainT2V(ctx, samples, epochs, 0, nil, nn.NewAdam(m.Cfg.LR), nil)
 }
 
 // trainT2V is the resumable core of TrainT2V (see trainV2S).
-func (m *Model) trainT2V(samples []Sample, epochs, start int, hist []float64, opt *nn.Adam, hook stageHook) ([]float64, error) {
+func (m *Model) trainT2V(ctx context.Context, samples []Sample, epochs, start int, hist []float64, opt *nn.Adam, hook stageHook) ([]float64, error) {
 	if len(samples) == 0 {
 		return nil, fmt.Errorf("core: TrainT2V requires samples")
 	}
@@ -111,6 +131,9 @@ func (m *Model) trainT2V(samples []Sample, epochs, start int, hist []float64, op
 				return history, err
 			}
 		}
+		if ctx.Err() != nil {
+			return history, context.Cause(ctx)
+		}
 	}
 	return history, nil
 }
@@ -148,9 +171,15 @@ type AuxData struct {
 // plus any auxiliary losses (Eq. 13). It returns the recovered TOD tensor
 // and the loss history.
 func (m *Model) Fit(speedObs *tensor.Tensor, epochs int, aux *AuxData) (*tensor.Tensor, []float64, error) {
+	return m.FitCtx(context.Background(), speedObs, epochs, aux)
+}
+
+// FitCtx is Fit with cooperative cancellation at epoch boundaries (see
+// TrainV2SCtx).
+func (m *Model) FitCtx(ctx context.Context, speedObs *tensor.Tensor, epochs int, aux *AuxData) (*tensor.Tensor, []float64, error) {
 	restore := freezeParams(append(m.T2V.Params(), m.V2S.Params()...))
 	defer restore()
-	history, err := m.fitGen(m.TODGen, speedObs, epochs, aux)
+	history, err := m.fitGen(ctx, m.TODGen, speedObs, epochs, aux)
 	if err != nil {
 		return nil, nil, err
 	}
@@ -161,12 +190,12 @@ func (m *Model) Fit(speedObs *tensor.Tensor, epochs int, aux *AuxData) (*tensor.
 // TOD-Volume and Volume-Speed modules are only read, so multiple fitGen
 // calls on distinct generators may run concurrently (FitBest restarts);
 // callers must freeze those modules' parameters first.
-func (m *Model) fitGen(gen TODGenModule, speedObs *tensor.Tensor, epochs int, aux *AuxData) ([]float64, error) {
-	return m.fitGenFrom(gen, speedObs, epochs, 0, nil, nn.NewAdam(m.Cfg.LR), aux, nil)
+func (m *Model) fitGen(ctx context.Context, gen TODGenModule, speedObs *tensor.Tensor, epochs int, aux *AuxData) ([]float64, error) {
+	return m.fitGenFrom(ctx, gen, speedObs, epochs, 0, nil, nn.NewAdam(m.Cfg.LR), aux, nil)
 }
 
 // fitGenFrom is the resumable core of fitGen (see trainV2S).
-func (m *Model) fitGenFrom(gen TODGenModule, speedObs *tensor.Tensor, epochs, start int, hist []float64, opt *nn.Adam, aux *AuxData, hook stageHook) ([]float64, error) {
+func (m *Model) fitGenFrom(ctx context.Context, gen TODGenModule, speedObs *tensor.Tensor, epochs, start int, hist []float64, opt *nn.Adam, aux *AuxData, hook stageHook) ([]float64, error) {
 	if speedObs.Rank() != 2 || speedObs.Dim(0) != m.Topo.M || speedObs.Dim(1) != m.Topo.T {
 		return nil, fmt.Errorf("core: Fit observation shape %v, want [%d %d]", speedObs.Shape(), m.Topo.M, m.Topo.T)
 	}
@@ -201,6 +230,9 @@ func (m *Model) fitGenFrom(gen TODGenModule, speedObs *tensor.Tensor, epochs, st
 			if err := hook(e+1, history, opt); err != nil {
 				return history, err
 			}
+		}
+		if ctx.Err() != nil {
+			return history, context.Cause(ctx)
 		}
 	}
 	return history, nil
@@ -352,7 +384,15 @@ func (m *Model) speedScore(gen TODGenModule, speedObs *tensor.Tensor, aux *AuxDa
 // state is installed into m.TODGen before returning, so m.GenerateTOD() and
 // Model.Save afterwards agree exactly with the returned tensor.
 func (m *Model) FitBest(speedObs *tensor.Tensor, epochs, restarts int, aux *AuxData) (*tensor.Tensor, []float64, error) {
-	return m.fitBest(speedObs, epochs, restarts, aux, nil)
+	return m.fitBest(context.Background(), speedObs, epochs, restarts, aux, nil)
+}
+
+// FitBestCtx is FitBest with cooperative cancellation at restart and epoch
+// boundaries: once ctx is cancelled no new restart starts, in-flight
+// restarts abort at their next epoch boundary, and the call returns the
+// context's cancellation cause with the generator's entry state intact.
+func (m *Model) FitBestCtx(ctx context.Context, speedObs *tensor.Tensor, epochs, restarts int, aux *AuxData) (*tensor.Tensor, []float64, error) {
+	return m.fitBest(ctx, speedObs, epochs, restarts, aux, nil)
 }
 
 // restartRecord is one completed restart's outcome: the generator's final
@@ -397,9 +437,12 @@ func (c *restartCtl) restartHook() stageHook {
 // exactly like the public method; a checkpointing caller passes a ctl to
 // restore completed restarts, record new ones, and interrupt cleanly (the
 // interrupt surfaces as ErrInterrupted with the model's entry state intact).
-func (m *Model) fitBest(speedObs *tensor.Tensor, epochs, restarts int, aux *AuxData, ctl *restartCtl) (*tensor.Tensor, []float64, error) {
+// Cancellation via ctx is restart-granular like a ctl stop: with a ctl it
+// surfaces as ErrInterrupted (the checkpointed, resumable form), without one
+// as the context's cancellation cause.
+func (m *Model) fitBest(ctx context.Context, speedObs *tensor.Tensor, epochs, restarts int, aux *AuxData, ctl *restartCtl) (*tensor.Tensor, []float64, error) {
 	if restarts <= 1 {
-		return m.Fit(speedObs, epochs, aux)
+		return m.FitCtx(ctx, speedObs, epochs, aux)
 	}
 	restore := freezeParams(append(m.T2V.Params(), m.V2S.Params()...))
 	defer restore()
@@ -432,13 +475,13 @@ func (m *Model) fitBest(speedObs *tensor.Tensor, epochs, restarts int, aux *AuxD
 						return
 					}
 				}
-				if ctl.stopped() {
+				if ctl.stopped() || ctx.Err() != nil {
 					skipped[r] = true
 					return
 				}
-				hists[r], errs[r] = m.fitGenFrom(gens[r], speedObs, epochs, 0, nil, nn.NewAdam(m.Cfg.LR), aux, ctl.restartHook())
+				hists[r], errs[r] = m.fitGenFrom(ctx, gens[r], speedObs, epochs, 0, nil, nn.NewAdam(m.Cfg.LR), aux, ctl.restartHook())
 				if errs[r] != nil {
-					if errors.Is(errs[r], ErrInterrupted) {
+					if errors.Is(errs[r], ErrInterrupted) || ctx.Err() != nil {
 						skipped[r], errs[r] = true, nil
 					}
 					return
@@ -448,7 +491,10 @@ func (m *Model) fitBest(speedObs *tensor.Tensor, epochs, restarts int, aux *AuxD
 				}
 			}
 		}
-		parallel.Run(m.Cfg.Workers, fns...)
+		// RunCtx stops launching restarts once ctx is cancelled; restarts the
+		// pool never started are equivalent to skipped ones below.
+		runErr := parallel.RunCtx(ctx, m.Cfg.Workers, fns...)
+		interrupted := runErr != nil
 		for _, err := range errs {
 			if err != nil {
 				return nil, nil, err
@@ -456,8 +502,16 @@ func (m *Model) fitBest(speedObs *tensor.Tensor, epochs, restarts int, aux *AuxD
 		}
 		for _, s := range skipped {
 			if s {
+				interrupted = true
+			}
+		}
+		if interrupted {
+			if ctl != nil {
+				// Checkpointed caller: surface the resumable sentinel — the
+				// completed restarts are already on disk via ctl.onDone.
 				return nil, nil, ErrInterrupted
 			}
+			return nil, nil, context.Cause(ctx)
 		}
 		best, bestScore := -1, math.Inf(1)
 		for r := range gens {
@@ -487,14 +541,17 @@ func (m *Model) fitBest(speedObs *tensor.Tensor, epochs, restarts int, aux *AuxD
 			copyStateTensors(m.TODGen.StateTensors(), rec.state)
 			hist = rec.hist
 		} else {
-			if ctl.stopped() {
+			if ctl.stopped() || ctx.Err() != nil {
 				copyStateTensors(m.TODGen.StateTensors(), entry)
-				return nil, nil, ErrInterrupted
+				if ctl != nil {
+					return nil, nil, ErrInterrupted
+				}
+				return nil, nil, context.Cause(ctx)
 			}
 			var err error
-			hist, err = m.fitGenFrom(m.TODGen, speedObs, epochs, 0, nil, nn.NewAdam(m.Cfg.LR), aux, ctl.restartHook())
+			hist, err = m.fitGenFrom(ctx, m.TODGen, speedObs, epochs, 0, nil, nn.NewAdam(m.Cfg.LR), aux, ctl.restartHook())
 			if err != nil {
-				if errors.Is(err, ErrInterrupted) {
+				if errors.Is(err, ErrInterrupted) || ctx.Err() != nil {
 					copyStateTensors(m.TODGen.StateTensors(), entry)
 				}
 				return nil, nil, err
@@ -551,12 +608,19 @@ func copyStateTensors(dst, src []*tensor.Tensor) {
 // test-time fit against the observed speed (with optional restarts). It
 // returns the recovered TOD.
 func (m *Model) TrainFull(samples []Sample, speedObs *tensor.Tensor, v2sEpochs, t2vEpochs, fitEpochs int, aux *AuxData) (*tensor.Tensor, error) {
-	if _, err := m.TrainV2S(samples, v2sEpochs); err != nil {
+	return m.TrainFullCtx(context.Background(), samples, speedObs, v2sEpochs, t2vEpochs, fitEpochs, aux)
+}
+
+// TrainFullCtx is TrainFull with cooperative cancellation: each stage
+// observes ctx at its epoch (or restart) boundaries, and a cancelled call
+// returns the context's cancellation cause.
+func (m *Model) TrainFullCtx(ctx context.Context, samples []Sample, speedObs *tensor.Tensor, v2sEpochs, t2vEpochs, fitEpochs int, aux *AuxData) (*tensor.Tensor, error) {
+	if _, err := m.TrainV2SCtx(ctx, samples, v2sEpochs); err != nil {
 		return nil, err
 	}
-	if _, err := m.TrainT2V(samples, t2vEpochs); err != nil {
+	if _, err := m.TrainT2VCtx(ctx, samples, t2vEpochs); err != nil {
 		return nil, err
 	}
-	tod, _, err := m.FitBest(speedObs, fitEpochs, m.Cfg.FitRestarts, aux)
+	tod, _, err := m.FitBestCtx(ctx, speedObs, fitEpochs, m.Cfg.FitRestarts, aux)
 	return tod, err
 }

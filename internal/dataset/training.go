@@ -1,6 +1,7 @@
 package dataset
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -37,6 +38,13 @@ type GenerateOptions struct {
 // to obtain volume and speed. The simulator must be configured with the same
 // interval count as opts.TOD.Intervals.
 func Generate(s *sim.Simulator, city *City, opts GenerateOptions) ([]Sample, error) {
+	return GenerateCtx(context.Background(), s, city, opts)
+}
+
+// GenerateCtx is Generate with cooperative cancellation: ctx is observed
+// between samples and at the simulator's interval boundaries, so a cancelled
+// call returns the context's cancellation cause without a partial sample.
+func GenerateCtx(ctx context.Context, s *sim.Simulator, city *City, opts GenerateOptions) ([]Sample, error) {
 	if opts.Count <= 0 {
 		return nil, fmt.Errorf("dataset: Generate needs Count > 0")
 	}
@@ -61,7 +69,7 @@ func Generate(s *sim.Simulator, city *City, opts GenerateOptions) ([]Sample, err
 		g := MixedTOD(i, cfg, rng)
 		runner := sim.New(s.Net, s.Cfg)
 		runner.Cfg.Seed = opts.Seed + int64(i)*7919
-		res, err := runner.Run(sim.Demand{ODs: city.ODs, G: g})
+		res, err := runner.RunCtx(ctx, sim.Demand{ODs: city.ODs, G: g})
 		if err != nil {
 			return nil, fmt.Errorf("dataset: sample %d simulation: %w", i, err)
 		}
@@ -73,11 +81,17 @@ func Generate(s *sim.Simulator, city *City, opts GenerateOptions) ([]Sample, err
 // GroundTruth simulates the city's ground-truth TOD to produce the hidden
 // test observation (Fig. 7's testing stage): groundtruth volume and speed.
 func GroundTruth(s *sim.Simulator, city *City, scale float64, seed int64) (Sample, error) {
+	return GroundTruthCtx(context.Background(), s, city, scale, seed)
+}
+
+// GroundTruthCtx is GroundTruth with cooperative cancellation at the
+// simulator's interval boundaries.
+func GroundTruthCtx(ctx context.Context, s *sim.Simulator, city *City, scale float64, seed int64) (Sample, error) {
 	rng := rand.New(rand.NewSource(seed))
 	g := city.GroundTruthTOD(s.Cfg.Intervals, scale, rng)
 	runner := sim.New(s.Net, s.Cfg)
 	runner.Cfg.Seed = seed + 1
-	res, err := runner.Run(sim.Demand{ODs: city.ODs, G: g})
+	res, err := runner.RunCtx(ctx, sim.Demand{ODs: city.ODs, G: g})
 	if err != nil {
 		return Sample{}, fmt.Errorf("dataset: ground truth simulation: %w", err)
 	}

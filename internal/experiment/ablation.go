@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"ovs/internal/core"
@@ -21,18 +22,18 @@ type AblationResult struct {
 }
 
 // RunAblation trains all four variants on one shared synthetic environment.
-func RunAblation(sc Scale, seed int64) (*AblationResult, error) {
-	env, err := NewSyntheticEnv(dataset.PatternRandom, sc, seed)
+func RunAblation(ctx context.Context, sc Scale, seed int64) (*AblationResult, error) {
+	env, err := NewSyntheticEnv(ctx, dataset.PatternRandom, sc, seed)
 	if err != nil {
 		return nil, err
 	}
 	out := &AblationResult{}
 	for _, ab := range []core.Ablation{core.AblateNone, core.AblateTODGen, core.AblateT2V, core.AblateV2S} {
-		rec, _, _, err := env.runOVSVariant(ab, nil)
+		rec, _, _, err := env.runOVSVariant(ctx, ab, nil)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: ablation %v: %w", ab, err)
 		}
-		triple, err := env.Evaluate(rec)
+		triple, err := env.Evaluate(ctx, rec)
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"sort"
 	"strings"
@@ -32,7 +33,7 @@ type CaseStudyResult struct {
 // runCaseStudy executes the shared protocol: simulate the scenario TOD to
 // obtain the "observed" speed feed, train everything on generated data, fit
 // all methods, and collect the focus series from the OVS recovery.
-func runCaseStudy(cs *dataset.CaseStudy, sc Scale, seed int64) (*CaseStudyResult, error) {
+func runCaseStudy(ctx context.Context, cs *dataset.CaseStudy, sc Scale, seed int64) (*CaseStudyResult, error) {
 	// Case studies fix their own horizon.
 	sc.Intervals = cs.Intervals
 
@@ -41,12 +42,12 @@ func runCaseStudy(cs *dataset.CaseStudy, sc Scale, seed int64) (*CaseStudyResult
 
 	// Observed speed: the scenario TOD pushed through the simulator (our
 	// stand-in for the Gaode/Google Maps feed).
-	obsRes, err := simulator.Run(sim.Demand{ODs: cs.City.ODs, G: cs.G})
+	obsRes, err := simulator.RunCtx(ctx, sim.Demand{ODs: cs.City.ODs, G: cs.G})
 	if err != nil {
 		return nil, fmt.Errorf("experiment: case study observation: %w", err)
 	}
 
-	raw, err := dataset.Generate(simulator, cs.City, dataset.GenerateOptions{
+	raw, err := dataset.GenerateCtx(ctx, simulator, cs.City, dataset.GenerateOptions{
 		Count: sc.Samples,
 		TOD: dataset.TODConfig{
 			Intervals:       cs.Intervals,
@@ -85,13 +86,13 @@ func runCaseStudy(cs *dataset.CaseStudy, sc Scale, seed int64) (*CaseStudyResult
 
 	// Baselines: score speed fit only (the paper lacks TOD ground truth for
 	// the real feeds, Table X reports RMSE_speed).
-	ctx := env.Context()
+	bctx := env.Context(ctx)
 	for _, m := range env.Methods() {
-		rec, err := m.Recover(ctx)
+		rec, err := m.Recover(bctx)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: %s on %s: %w", m.Name(), cs.Name, err)
 		}
-		triple, err := env.Evaluate(rec)
+		triple, err := env.Evaluate(ctx, rec)
 		if err != nil {
 			return nil, err
 		}
@@ -122,12 +123,12 @@ func runCaseStudy(cs *dataset.CaseStudy, sc Scale, seed int64) (*CaseStudyResult
 		aux = &core.AuxData{TrajODIdx: trajIdx, TrajG: trajG, TrajWeight: 8}
 	}
 
-	rec, _, elapsed, err := env.RunOVS(aux)
+	rec, _, elapsed, err := env.RunOVS(ctx, aux)
 	if err != nil {
 		return nil, err
 	}
 	out.Elapsed = elapsed
-	triple, err := env.Evaluate(rec)
+	triple, err := env.Evaluate(ctx, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -148,21 +149,21 @@ func caseScale(sc Scale) float64 {
 }
 
 // RunCaseStudy1 reproduces Figure 12 and Table X column "Case 1".
-func RunCaseStudy1(sc Scale, seed int64) (*CaseStudyResult, error) {
+func RunCaseStudy1(ctx context.Context, sc Scale, seed int64) (*CaseStudyResult, error) {
 	cs, err := dataset.CaseStudy1(caseScale(sc), seed)
 	if err != nil {
 		return nil, err
 	}
-	return runCaseStudy(cs, sc, seed)
+	return runCaseStudy(ctx, cs, sc, seed)
 }
 
 // RunCaseStudy2 reproduces Figure 13 and Table X column "Case 2".
-func RunCaseStudy2(sc Scale, seed int64) (*CaseStudyResult, error) {
+func RunCaseStudy2(ctx context.Context, sc Scale, seed int64) (*CaseStudyResult, error) {
 	cs, err := dataset.CaseStudy2(caseScale(sc), seed)
 	if err != nil {
 		return nil, err
 	}
-	return runCaseStudy(cs, sc, seed)
+	return runCaseStudy(ctx, cs, sc, seed)
 }
 
 // PeakHour returns the wall-clock hour at which the recovered series for the

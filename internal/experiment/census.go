@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 
@@ -29,9 +30,9 @@ type CensusResult struct {
 // without a census auxiliary loss derived from the ground truth — and
 // reports the recovered daily sums of two focus ODs from similar-population
 // residential regions.
-func RunCensusConstraint(sc Scale, seed int64) (*CensusResult, error) {
+func RunCensusConstraint(ctx context.Context, sc Scale, seed int64) (*CensusResult, error) {
 	city := dataset.Manhattan(dataset.CityOptions{ODPairs: sc.ODPairs, Seed: seed})
-	env, err := NewEnv(city, sc, seed)
+	env, err := NewEnv(ctx, city, sc, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -52,11 +53,11 @@ func RunCensusConstraint(sc Scale, seed int64) (*CensusResult, error) {
 	// sums on the large Manhattan instance.
 	censusEnv := *env
 	censusEnv.Scale.FitEpochs = env.Scale.FitEpochs * 2
-	recPlain, _, _, err := env.RunOVS(nil)
+	recPlain, _, _, err := env.RunOVS(ctx, nil)
 	if err != nil {
 		return nil, err
 	}
-	recAux, _, _, err := censusEnv.RunOVS(&core.AuxData{CensusSum: census, CensusWeight: 200})
+	recAux, _, _, err := censusEnv.RunOVS(ctx, &core.AuxData{CensusSum: census, CensusWeight: 200})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"math/rand"
@@ -58,7 +59,9 @@ func (c *ComparisonResult) OVSRow() (MethodResult, bool) {
 // methods are independent — each draws randomness only from the environment
 // seed — so they run concurrently (bounded by the process-wide worker
 // default); the row order is fixed by the method list, not by completion.
-func RunComparison(env *Env, name string) (*ComparisonResult, error) {
+// Once ctx is cancelled no new method starts, in-flight methods abort at
+// their own safe points, and the cancellation cause is returned.
+func RunComparison(ctx context.Context, env *Env, name string) (*ComparisonResult, error) {
 	methods := env.Methods()
 	rows := make([]MethodResult, len(methods)+1)
 	errs := make([]error, len(methods)+1)
@@ -67,12 +70,12 @@ func RunComparison(env *Env, name string) (*ComparisonResult, error) {
 		i, m := i, m
 		fns = append(fns, func() {
 			start := time.Now() //ovslint:ignore globalrand wall-clock timing is reported in tables but never feeds fitted results
-			rec, err := m.Recover(env.Context())
+			rec, err := m.Recover(env.Context(ctx))
 			if err != nil {
 				errs[i] = fmt.Errorf("experiment: %s on %s: %w", m.Name(), name, err)
 				return
 			}
-			triple, err := env.Evaluate(rec)
+			triple, err := env.Evaluate(ctx, rec)
 			if err != nil {
 				errs[i] = err
 				return
@@ -82,19 +85,21 @@ func RunComparison(env *Env, name string) (*ComparisonResult, error) {
 	}
 	fns = append(fns, func() {
 		i := len(methods)
-		rec, _, elapsed, err := env.RunOVS(nil)
+		rec, _, elapsed, err := env.RunOVS(ctx, nil)
 		if err != nil {
 			errs[i] = err
 			return
 		}
-		triple, err := env.Evaluate(rec)
+		triple, err := env.Evaluate(ctx, rec)
 		if err != nil {
 			errs[i] = err
 			return
 		}
 		rows[i] = MethodResult{Method: "OVS", Metrics: triple, Elapsed: elapsed}
 	})
-	parallel.Run(0, fns...)
+	if err := parallel.RunCtx(ctx, 0, fns...); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -107,7 +112,7 @@ func RunComparison(env *Env, name string) (*ComparisonResult, error) {
 // and Manhattan presets. Each city cell derives its randomness from the root
 // seed by index, so cells are independent and run concurrently with
 // reproducible results.
-func RunRealComparison(sc Scale, seed int64) ([]*ComparisonResult, error) {
+func RunRealComparison(ctx context.Context, sc Scale, seed int64) ([]*ComparisonResult, error) {
 	out := make([]*ComparisonResult, len(dataset.RealCityNames))
 	errs := make([]error, len(dataset.RealCityNames))
 	fns := make([]func(), 0, len(dataset.RealCityNames))
@@ -119,15 +124,17 @@ func RunRealComparison(sc Scale, seed int64) ([]*ComparisonResult, error) {
 				errs[i] = err
 				return
 			}
-			env, err := NewEnv(city, sc, seed+10*int64(i))
+			env, err := NewEnv(ctx, city, sc, seed+10*int64(i))
 			if err != nil {
 				errs[i] = err
 				return
 			}
-			out[i], errs[i] = RunComparison(env, name)
+			out[i], errs[i] = RunComparison(ctx, env, name)
 		})
 	}
-	parallel.Run(0, fns...)
+	if err := parallel.RunCtx(ctx, 0, fns...); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err
@@ -139,22 +146,24 @@ func RunRealComparison(sc Scale, seed int64) ([]*ComparisonResult, error) {
 // RunSyntheticComparison reproduces Table VIII: all methods on the 3×3 grid
 // across the five TOD patterns, one concurrent cell per pattern (seeded by
 // pattern index, so results match the serial order at any worker count).
-func RunSyntheticComparison(sc Scale, seed int64) ([]*ComparisonResult, error) {
+func RunSyntheticComparison(ctx context.Context, sc Scale, seed int64) ([]*ComparisonResult, error) {
 	out := make([]*ComparisonResult, len(dataset.AllPatterns))
 	errs := make([]error, len(dataset.AllPatterns))
 	fns := make([]func(), 0, len(dataset.AllPatterns))
 	for i, p := range dataset.AllPatterns {
 		i, p := i, p
 		fns = append(fns, func() {
-			env, err := NewSyntheticEnv(p, sc, seed+100*int64(i))
+			env, err := NewSyntheticEnv(ctx, p, sc, seed+100*int64(i))
 			if err != nil {
 				errs[i] = err
 				return
 			}
-			out[i], errs[i] = RunComparison(env, p.String())
+			out[i], errs[i] = RunComparison(ctx, env, p.String())
 		})
 	}
-	parallel.Run(0, fns...)
+	if err := parallel.RunCtx(ctx, 0, fns...); err != nil {
+		return nil, err
+	}
 	for _, err := range errs {
 		if err != nil {
 			return nil, err

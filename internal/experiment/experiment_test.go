@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"strings"
 	"testing"
 
@@ -62,7 +63,7 @@ func TestSparkline(t *testing.T) {
 func TestNewEnvStructureAndDeterminism(t *testing.T) {
 	sc := microScale()
 	city := dataset.SyntheticGrid(sc.ODPairs, 7)
-	env, err := NewEnv(city, sc, 7)
+	env, err := NewEnv(context.Background(), city, sc, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +77,7 @@ func TestNewEnvStructureAndDeterminism(t *testing.T) {
 		t.Fatal("MaxTrips must be positive")
 	}
 	city2 := dataset.SyntheticGrid(sc.ODPairs, 7)
-	env2, err := NewEnv(city2, sc, 7)
+	env2, err := NewEnv(context.Background(), city2, sc, 7)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -89,7 +90,7 @@ func TestNewEnvStructureAndDeterminism(t *testing.T) {
 
 func TestNewSyntheticEnvUsesPattern(t *testing.T) {
 	sc := microScale()
-	envInc, err := NewSyntheticEnv(dataset.PatternIncreasing, sc, 9)
+	envInc, err := NewSyntheticEnv(context.Background(), dataset.PatternIncreasing, sc, 9)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -107,11 +108,11 @@ func TestNewSyntheticEnvUsesPattern(t *testing.T) {
 
 func TestRunComparisonStructure(t *testing.T) {
 	sc := microScale()
-	env, err := NewSyntheticEnv(dataset.PatternGaussian, sc, 3)
+	env, err := NewSyntheticEnv(context.Background(), dataset.PatternGaussian, sc, 3)
 	if err != nil {
 		t.Fatal(err)
 	}
-	res, err := RunComparison(env, "Gaussian")
+	res, err := RunComparison(context.Background(), env, "Gaussian")
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -145,7 +146,7 @@ func TestRunComparisonStructure(t *testing.T) {
 }
 
 func TestRunAblationStructure(t *testing.T) {
-	res, err := RunAblation(microScale(), 5)
+	res, err := RunAblation(context.Background(), microScale(), 5)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -165,7 +166,7 @@ func TestRunAblationStructure(t *testing.T) {
 
 func TestRunScalabilityStructure(t *testing.T) {
 	sc := microScale()
-	res, err := RunScalability(sc, []int{9, 16}, 11)
+	res, err := RunScalability(context.Background(), sc, []int{9, 16}, 11)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -188,7 +189,7 @@ func TestRunScalabilityStructure(t *testing.T) {
 func TestRunCensusConstraintStructure(t *testing.T) {
 	sc := microScale()
 	sc.ODPairs = 12 // need several residential origins
-	res, err := RunCensusConstraint(sc, 13)
+	res, err := RunCensusConstraint(context.Background(), sc, 13)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -209,7 +210,7 @@ func TestRunCensusConstraintStructure(t *testing.T) {
 }
 
 func TestRunRoadWorkStructure(t *testing.T) {
-	res, err := RunRoadWork(microScale(), 17)
+	res, err := RunRoadWork(context.Background(), microScale(), 17)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -226,7 +227,7 @@ func TestRunRoadWorkStructure(t *testing.T) {
 
 func TestRunCaseStudy2Structure(t *testing.T) {
 	sc := microScale()
-	res, err := RunCaseStudy2(sc, 19)
+	res, err := RunCaseStudy2(context.Background(), sc, 19)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -262,7 +263,7 @@ func TestScalePresets(t *testing.T) {
 }
 
 func TestRunRouteChoiceStructure(t *testing.T) {
-	res, err := RunRouteChoice(microScale(), 23)
+	res, err := RunRouteChoice(context.Background(), microScale(), 23)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -283,7 +284,7 @@ func TestRunRouteChoiceStructure(t *testing.T) {
 }
 
 func TestRunEngineCrossStructure(t *testing.T) {
-	res, err := RunEngineCross(microScale(), 29)
+	res, err := RunEngineCross(context.Background(), microScale(), 29)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +308,7 @@ func TestCaseScaleFallback(t *testing.T) {
 }
 
 func TestRunNoiseRobustnessStructure(t *testing.T) {
-	res, err := RunNoiseRobustness(microScale(), []float64{0, 1.5}, 37)
+	res, err := RunNoiseRobustness(context.Background(), microScale(), []float64{0, 1.5}, 37)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -331,7 +332,7 @@ func TestRunNoiseRobustnessStructure(t *testing.T) {
 }
 
 func TestRunSeededComparisonStructure(t *testing.T) {
-	res, err := RunSeededComparison(dataset.PatternGaussian, microScale(), []int64{41, 43})
+	res, err := RunSeededComparison(context.Background(), dataset.PatternGaussian, microScale(), []int64{41, 43})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"ovs/internal/core"
@@ -26,9 +27,9 @@ type RouteChoiceResult struct {
 // RunRouteChoice builds an environment whose ground-truth traffic uses
 // dynamic (congestion-aware) routing, then recovers TOD with k=1 and k=2
 // route splits.
-func RunRouteChoice(sc Scale, seed int64) (*RouteChoiceResult, error) {
+func RunRouteChoice(ctx context.Context, sc Scale, seed int64) (*RouteChoiceResult, error) {
 	city := dataset.SyntheticGrid(sc.ODPairs, seed+3)
-	env, err := NewEnv(city, sc, seed)
+	env, err := NewEnv(ctx, city, sc, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -38,7 +39,7 @@ func RunRouteChoice(sc Scale, seed int64) (*RouteChoiceResult, error) {
 	dynCfg.Routing = sim.DynamicRouting
 	env.SimCfg = dynCfg
 	dynamicSim := sim.New(city.Net, dynCfg)
-	raw, err := dataset.Generate(dynamicSim, city, dataset.GenerateOptions{
+	raw, err := dataset.GenerateCtx(ctx, dynamicSim, city, dataset.GenerateOptions{
 		Count: sc.Samples,
 		TOD: dataset.TODConfig{
 			Intervals:       sc.Intervals,
@@ -55,7 +56,7 @@ func RunRouteChoice(sc Scale, seed int64) (*RouteChoiceResult, error) {
 	for _, s := range raw {
 		env.Samples = append(env.Samples, core.Sample{G: s.G, Volume: s.Volume, Speed: s.Speed})
 	}
-	gtRes, err := dynamicSim.Run(sim.Demand{ODs: city.ODs, G: env.GT.G})
+	gtRes, err := dynamicSim.RunCtx(ctx, sim.Demand{ODs: city.ODs, G: env.GT.G})
 	if err != nil {
 		return nil, err
 	}
@@ -63,11 +64,11 @@ func RunRouteChoice(sc Scale, seed int64) (*RouteChoiceResult, error) {
 
 	out := &RouteChoiceResult{}
 	for _, k := range []int{1, 2} {
-		rec, err := env.runOVSWithRoutes(k)
+		rec, err := env.runOVSWithRoutes(ctx, k)
 		if err != nil {
 			return nil, fmt.Errorf("experiment: route choice k=%d: %w", k, err)
 		}
-		triple, err := env.Evaluate(rec)
+		triple, err := env.Evaluate(ctx, rec)
 		if err != nil {
 			return nil, err
 		}
@@ -81,7 +82,7 @@ func RunRouteChoice(sc Scale, seed int64) (*RouteChoiceResult, error) {
 }
 
 // runOVSWithRoutes trains and fits an OVS model with k route slots per OD.
-func (e *Env) runOVSWithRoutes(k int) (*tensor.Tensor, error) {
+func (e *Env) runOVSWithRoutes(ctx context.Context, k int) (*tensor.Tensor, error) {
 	pairs := make([][2]int, len(e.City.ODs))
 	for i, od := range e.City.ODs {
 		pairs[i] = [2]int{od.Origin, od.Dest}
@@ -93,7 +94,7 @@ func (e *Env) runOVSWithRoutes(k int) (*tensor.Tensor, error) {
 	cfg := e.modelConfig()
 	cfg.RoutesPerOD = k
 	m := core.NewModel(topo, cfg)
-	return m.TrainFull(e.Samples, e.GT.Speed, e.Scale.V2SEpochs, e.Scale.T2VEpochs, e.Scale.FitEpochs, nil)
+	return m.TrainFullCtx(ctx, e.Samples, e.GT.Speed, e.Scale.V2SEpochs, e.Scale.T2VEpochs, e.Scale.FitEpochs, nil)
 }
 
 // Render prints the route-choice comparison.
@@ -117,19 +118,19 @@ type EngineCrossResult struct {
 }
 
 // RunEngineCross runs the cross-engine experiment on the synthetic grid.
-func RunEngineCross(sc Scale, seed int64) (*EngineCrossResult, error) {
-	env, err := NewSyntheticEnv(dataset.PatternGaussian, sc, seed)
+func RunEngineCross(ctx context.Context, sc Scale, seed int64) (*EngineCrossResult, error) {
+	env, err := NewSyntheticEnv(ctx, dataset.PatternGaussian, sc, seed)
 	if err != nil {
 		return nil, err
 	}
 	out := &EngineCrossResult{}
 
 	// Control: meso-trained, meso-observed (the standard pipeline).
-	rec, _, _, err := env.RunOVS(nil)
+	rec, _, _, err := env.RunOVS(ctx, nil)
 	if err != nil {
 		return nil, err
 	}
-	triple, err := env.Evaluate(rec)
+	triple, err := env.Evaluate(ctx, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -138,19 +139,19 @@ func RunEngineCross(sc Scale, seed int64) (*EngineCrossResult, error) {
 	// Cross: observe the same hidden TOD through the micro engine.
 	microCfg := env.SimCfg
 	microCfg.Engine = sim.Micro
-	microRes, err := sim.New(env.City.Net, microCfg).Run(sim.Demand{ODs: env.City.ODs, G: env.GT.G})
+	microRes, err := sim.New(env.City.Net, microCfg).RunCtx(ctx, sim.Demand{ODs: env.City.ODs, G: env.GT.G})
 	if err != nil {
 		return nil, err
 	}
 	crossEnv := *env
 	crossEnv.GT = core.Sample{G: env.GT.G, Volume: microRes.Volume, Speed: microRes.Speed}
-	rec2, _, _, err := crossEnv.RunOVS(nil)
+	rec2, _, _, err := crossEnv.RunOVS(ctx, nil)
 	if err != nil {
 		return nil, err
 	}
 	// Score the recovery against the micro-engine observation world.
 	crossSim := sim.New(env.City.Net, microCfg)
-	recRes, err := crossSim.Run(sim.Demand{ODs: env.City.ODs, G: rec2})
+	recRes, err := crossSim.RunCtx(ctx, sim.Demand{ODs: env.City.ODs, G: rec2})
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -24,11 +25,12 @@ type Env struct {
 }
 
 // NewEnv generates the training data and ground truth for a city following
-// the Fig. 7 protocol.
-func NewEnv(city *dataset.City, sc Scale, seed int64) (*Env, error) {
+// the Fig. 7 protocol. Data generation runs many simulations, so ctx is
+// threaded through to cancel mid-build.
+func NewEnv(ctx context.Context, city *dataset.City, sc Scale, seed int64) (*Env, error) {
 	simCfg := sim.Config{Intervals: sc.Intervals, IntervalSec: sc.IntervalSec, Seed: seed}
 	simulator := sim.New(city.Net, simCfg)
-	raw, err := dataset.Generate(simulator, city, dataset.GenerateOptions{
+	raw, err := dataset.GenerateCtx(ctx, simulator, city, dataset.GenerateOptions{
 		Count: sc.Samples,
 		TOD: dataset.TODConfig{
 			Intervals:       sc.Intervals,
@@ -47,7 +49,7 @@ func NewEnv(city *dataset.City, sc Scale, seed int64) (*Env, error) {
 	for i, s := range raw {
 		samples[i] = core.Sample{G: s.G, Volume: s.Volume, Speed: s.Speed}
 	}
-	gt, err := dataset.GroundTruth(simulator, city, sc.GTScale, seed+2)
+	gt, err := dataset.GroundTruthCtx(ctx, simulator, city, sc.GTScale, seed+2)
 	if err != nil {
 		return nil, err
 	}
@@ -63,9 +65,9 @@ func NewEnv(city *dataset.City, sc Scale, seed int64) (*Env, error) {
 
 // NewSyntheticEnv prepares an environment on the 3×3 grid whose hidden
 // ground truth follows one specific pattern (Table VIII's columns).
-func NewSyntheticEnv(p dataset.Pattern, sc Scale, seed int64) (*Env, error) {
+func NewSyntheticEnv(ctx context.Context, p dataset.Pattern, sc Scale, seed int64) (*Env, error) {
 	city := dataset.SyntheticGrid(sc.ODPairs, seed+3)
-	env, err := NewEnv(city, sc, seed)
+	env, err := NewEnv(ctx, city, sc, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -77,7 +79,7 @@ func NewSyntheticEnv(p dataset.Pattern, sc Scale, seed int64) (*Env, error) {
 		IntervalMinutes: sc.IntervalSec / 60,
 		Scale:           sc.GTScale,
 	}, rng)
-	res, err := sim.New(city.Net, env.SimCfg).Run(sim.Demand{ODs: city.ODs, G: g})
+	res, err := sim.New(city.Net, env.SimCfg).RunCtx(ctx, sim.Demand{ODs: city.ODs, G: g})
 	if err != nil {
 		return nil, err
 	}
@@ -96,13 +98,16 @@ func (e *Env) MaxTrips() float64 {
 	return m * 1.2
 }
 
-// Simulate runs a TOD tensor through the environment's simulator.
-func (e *Env) Simulate(g *tensor.Tensor) (*sim.Result, error) {
-	return sim.New(e.City.Net, e.SimCfg).Run(sim.Demand{ODs: e.City.ODs, G: g})
+// Simulate runs a TOD tensor through the environment's simulator, observing
+// ctx at interval boundaries.
+func (e *Env) Simulate(ctx context.Context, g *tensor.Tensor) (*sim.Result, error) {
+	return sim.New(e.City.Net, e.SimCfg).RunCtx(ctx, sim.Demand{ODs: e.City.ODs, G: g})
 }
 
-// Context assembles the baselines.Context view of the environment.
-func (e *Env) Context() *baselines.Context {
+// Context assembles the baselines.Context view of the environment. The
+// returned view's Simulate closure carries ctx, so baseline recoveries that
+// simulate are cancellable too.
+func (e *Env) Context(ctx context.Context) *baselines.Context {
 	return &baselines.Context{
 		Net:      e.City.Net,
 		Regions:  e.City.Regions,
@@ -111,7 +116,7 @@ func (e *Env) Context() *baselines.Context {
 		Samples:  e.Samples,
 		SpeedObs: e.GT.Speed,
 		Simulate: func(g *tensor.Tensor) (*tensor.Tensor, error) {
-			res, err := e.Simulate(g)
+			res, err := e.Simulate(ctx, g)
 			if err != nil {
 				return nil, err
 			}
@@ -125,8 +130,8 @@ func (e *Env) Context() *baselines.Context {
 // Evaluate computes the paper's three RMSE metrics for a recovered TOD: the
 // tensor itself against ground truth, then volume and speed by feeding the
 // recovery back through the simulator (§V-G).
-func (e *Env) Evaluate(rec *tensor.Tensor) (metrics.Triple, error) {
-	res, err := e.Simulate(rec)
+func (e *Env) Evaluate(ctx context.Context, rec *tensor.Tensor) (metrics.Triple, error) {
+	res, err := e.Simulate(ctx, rec)
 	if err != nil {
 		return metrics.Triple{}, err
 	}
@@ -184,17 +189,18 @@ func (e *Env) buildOVSModel(ab core.Ablation) (*core.Model, error) {
 
 // RunOVS trains the full pipeline and fits the environment's observation,
 // returning the recovered TOD, the trained model, and the wall-clock time.
-func (e *Env) RunOVS(aux *core.AuxData) (*tensor.Tensor, *core.Model, time.Duration, error) {
-	return e.runOVSVariant(core.AblateNone, aux)
+// Cancellation is observed at the pipeline's epoch/restart boundaries.
+func (e *Env) RunOVS(ctx context.Context, aux *core.AuxData) (*tensor.Tensor, *core.Model, time.Duration, error) {
+	return e.runOVSVariant(ctx, core.AblateNone, aux)
 }
 
-func (e *Env) runOVSVariant(ab core.Ablation, aux *core.AuxData) (*tensor.Tensor, *core.Model, time.Duration, error) {
+func (e *Env) runOVSVariant(ctx context.Context, ab core.Ablation, aux *core.AuxData) (*tensor.Tensor, *core.Model, time.Duration, error) {
 	m, err := e.buildOVSModel(ab)
 	if err != nil {
 		return nil, nil, 0, err
 	}
 	start := time.Now() //ovslint:ignore globalrand wall-clock timing is reported in tables but never feeds fitted results
-	rec, err := m.TrainFull(e.Samples, e.GT.Speed, e.Scale.V2SEpochs, e.Scale.T2VEpochs, e.Scale.FitEpochs, aux)
+	rec, err := m.TrainFullCtx(ctx, e.Samples, e.GT.Speed, e.Scale.V2SEpochs, e.Scale.T2VEpochs, e.Scale.FitEpochs, aux)
 	if err != nil {
 		return nil, nil, 0, fmt.Errorf("experiment: OVS (%v): %w", ab, err)
 	}
@@ -205,9 +211,10 @@ func (e *Env) runOVSVariant(ab core.Ablation, aux *core.AuxData) (*tensor.Tensor
 // snapshots its state into opts.Dir as it goes and, when resume is set,
 // continues from the newest valid checkpoint instead of starting over. It
 // returns the path of the checkpoint resumed from ("" when starting fresh).
-// An opts.Stop interrupt surfaces as core.ErrInterrupted after a final
-// checkpoint is written.
-func (e *Env) RunOVSCkpt(aux *core.AuxData, opts core.CkptOptions, resume bool) (*tensor.Tensor, *core.Model, time.Duration, string, error) {
+// An opts.Stop interrupt — or ctx cancellation, which takes the identical
+// path — surfaces as core.ErrInterrupted after a final checkpoint is
+// written.
+func (e *Env) RunOVSCkpt(ctx context.Context, aux *core.AuxData, opts core.CkptOptions, resume bool) (*tensor.Tensor, *core.Model, time.Duration, string, error) {
 	m, err := e.BuildOVS()
 	if err != nil {
 		return nil, nil, 0, "", err
@@ -224,7 +231,7 @@ func (e *Env) RunOVSCkpt(aux *core.AuxData, opts core.CkptOptions, resume bool) 
 		}
 	}
 	start := time.Now() //ovslint:ignore globalrand wall-clock timing is reported but never feeds fitted results
-	res, err := c.TrainFull(e.Samples, e.GT.Speed, e.Scale.V2SEpochs, e.Scale.T2VEpochs, e.Scale.FitEpochs, aux)
+	res, err := c.TrainFull(ctx, e.Samples, e.GT.Speed, e.Scale.V2SEpochs, e.Scale.T2VEpochs, e.Scale.FitEpochs, aux)
 	if err != nil {
 		return nil, nil, 0, resumedFrom, fmt.Errorf("experiment: OVS: %w", err)
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 
@@ -26,11 +27,11 @@ type NoiseResult struct {
 
 // RunNoiseRobustness sweeps observation noise on the Gaussian-pattern grid
 // environment.
-func RunNoiseRobustness(sc Scale, levels []float64, seed int64) (*NoiseResult, error) {
+func RunNoiseRobustness(ctx context.Context, sc Scale, levels []float64, seed int64) (*NoiseResult, error) {
 	if len(levels) == 0 {
 		levels = []float64{0, 0.25, 0.5, 1.0, 2.0}
 	}
-	env, err := NewSyntheticEnv(dataset.PatternGaussian, sc, seed)
+	env, err := NewSyntheticEnv(ctx, dataset.PatternGaussian, sc, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -38,10 +39,10 @@ func RunNoiseRobustness(sc Scale, levels []float64, seed int64) (*NoiseResult, e
 	if err != nil {
 		return nil, err
 	}
-	if _, err := model.TrainV2S(env.Samples, sc.V2SEpochs); err != nil {
+	if _, err := model.TrainV2SCtx(ctx, env.Samples, sc.V2SEpochs); err != nil {
 		return nil, err
 	}
-	if _, err := model.TrainT2V(env.Samples, sc.T2VEpochs); err != nil {
+	if _, err := model.TrainT2VCtx(ctx, env.Samples, sc.T2VEpochs); err != nil {
 		return nil, err
 	}
 
@@ -58,7 +59,7 @@ func RunNoiseRobustness(sc Scale, levels []float64, seed int64) (*NoiseResult, e
 			}
 		}
 		model.TODGen.Reseed(rand.New(rand.NewSource(seed + 52)))
-		rec, _, err := model.Fit(obs, sc.FitEpochs, nil)
+		rec, _, err := model.FitCtx(ctx, obs, sc.FitEpochs, nil)
 		if err != nil {
 			return nil, err
 		}

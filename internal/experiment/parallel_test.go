@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"runtime"
 	"testing"
 
@@ -24,7 +25,7 @@ func TestSyntheticComparisonWorkerEquivalence(t *testing.T) {
 
 	run := func(workers int) []*ComparisonResult {
 		parallel.SetWorkers(workers)
-		res, err := RunSyntheticComparison(sc, 31)
+		res, err := RunSyntheticComparison(context.Background(), sc, 31)
 		if err != nil {
 			t.Fatal(err)
 		}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 
 	"ovs/internal/baselines"
@@ -28,8 +29,8 @@ type RoadWorkResult struct {
 
 // RunRoadWork runs the two-simulator protocol: a random fifth of links get
 // a 0.55× speed factor in the road-work simulator.
-func RunRoadWork(sc Scale, seed int64) (*RoadWorkResult, error) {
-	env, err := NewSyntheticEnv(dataset.PatternGaussian, sc, seed)
+func RunRoadWork(ctx context.Context, sc Scale, seed int64) (*RoadWorkResult, error) {
+	env, err := NewSyntheticEnv(ctx, dataset.PatternGaussian, sc, seed)
 	if err != nil {
 		return nil, err
 	}
@@ -47,7 +48,7 @@ func RunRoadWork(sc Scale, seed int64) (*RoadWorkResult, error) {
 	}
 	workCfg := env.SimCfg
 	workCfg.RoadWork = work
-	res2, err := sim.New(env.City.Net, workCfg).Run(sim.Demand{ODs: env.City.ODs, G: env.GT.G})
+	res2, err := sim.New(env.City.Net, workCfg).RunCtx(ctx, sim.Demand{ODs: env.City.ODs, G: env.GT.G})
 	if err != nil {
 		return nil, err
 	}
@@ -63,10 +64,10 @@ func RunRoadWork(sc Scale, seed int64) (*RoadWorkResult, error) {
 		return nil, err
 	}
 	model.Cfg.RobustDelta = 0.3
-	if _, err := model.TrainV2S(env.Samples, sc.V2SEpochs); err != nil {
+	if _, err := model.TrainV2SCtx(ctx, env.Samples, sc.V2SEpochs); err != nil {
 		return nil, err
 	}
-	if _, err := model.TrainT2V(env.Samples, sc.T2VEpochs); err != nil {
+	if _, err := model.TrainT2VCtx(ctx, env.Samples, sc.T2VEpochs); err != nil {
 		return nil, err
 	}
 	fitFresh := func(obs *tensor.Tensor, reseed int64) (*tensor.Tensor, error) {
@@ -91,7 +92,7 @@ func RunRoadWork(sc Scale, seed int64) (*RoadWorkResult, error) {
 				weights[j] = 1
 			}
 		}
-		rec, _, err := model.Fit(obs, sc.FitEpochs, &core.AuxData{LinkWeights: weights})
+		rec, _, err := model.FitCtx(ctx, obs, sc.FitEpochs, &core.AuxData{LinkWeights: weights})
 		return rec, err
 	}
 	ovs1, err := fitFresh(speedRegular, seed+41)
@@ -107,15 +108,15 @@ func RunRoadWork(sc Scale, seed int64) (*RoadWorkResult, error) {
 	// deterministic per seed, so both calls learn identical weights) and
 	// applied to each observation.
 	lstm := &baselines.LSTM{Epochs: sc.LSTMEpochs}
-	ctx1 := env.Context()
-	ctx1.SpeedObs = speedRegular
-	l1, err := lstm.Recover(ctx1)
+	bc1 := env.Context(ctx)
+	bc1.SpeedObs = speedRegular
+	l1, err := lstm.Recover(bc1)
 	if err != nil {
 		return nil, err
 	}
-	ctx2 := env.Context()
-	ctx2.SpeedObs = speedRoadWork
-	l2, err := lstm.Recover(ctx2)
+	bc2 := env.Context(ctx)
+	bc2.SpeedObs = speedRoadWork
+	l2, err := lstm.Recover(bc2)
 	if err != nil {
 		return nil, err
 	}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"math"
 	"strings"
@@ -31,18 +32,18 @@ type SeededComparison struct {
 
 // RunSeededComparison runs the full method comparison on one synthetic
 // pattern across `seeds` independent environments and aggregates TOD RMSE.
-func RunSeededComparison(p dataset.Pattern, sc Scale, seeds []int64) (*SeededComparison, error) {
+func RunSeededComparison(ctx context.Context, p dataset.Pattern, sc Scale, seeds []int64) (*SeededComparison, error) {
 	if len(seeds) == 0 {
 		seeds = []int64{1, 2, 3}
 	}
 	perMethod := map[string][]float64{}
 	var order []string
 	for _, seed := range seeds {
-		env, err := NewSyntheticEnv(p, sc, seed)
+		env, err := NewSyntheticEnv(ctx, p, sc, seed)
 		if err != nil {
 			return nil, err
 		}
-		res, err := RunComparison(env, p.String())
+		res, err := RunComparison(ctx, env, p.String())
 		if err != nil {
 			return nil, err
 		}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"time"
 
@@ -25,18 +26,18 @@ type TimingResult struct {
 
 // RunRunningTime reproduces Table VII: OVS train+fit wall-clock on the three
 // real presets.
-func RunRunningTime(sc Scale, seed int64) (*TimingResult, error) {
+func RunRunningTime(ctx context.Context, sc Scale, seed int64) (*TimingResult, error) {
 	out := &TimingResult{Title: "Table VII: OVS running time (real datasets)"}
 	for i, name := range dataset.RealCityNames {
 		city, err := dataset.ByName(name, dataset.CityOptions{ODPairs: sc.ODPairs, Seed: seed + int64(i)})
 		if err != nil {
 			return nil, err
 		}
-		env, err := NewEnv(city, sc, seed+10*int64(i))
+		env, err := NewEnv(ctx, city, sc, seed+10*int64(i))
 		if err != nil {
 			return nil, err
 		}
-		_, _, elapsed, err := env.RunOVS(nil)
+		_, _, elapsed, err := env.RunOVS(ctx, nil)
 		if err != nil {
 			return nil, err
 		}
@@ -53,7 +54,7 @@ func RunRunningTime(sc Scale, seed int64) (*TimingResult, error) {
 // RunScalability reproduces Figure 9: OVS running time on synthetic grids of
 // the given intersection counts (the paper sweeps 10, 50, 100, 500, 1000).
 // The observed scaling should be approximately linear in the network size.
-func RunScalability(sc Scale, sizes []int, seed int64) (*TimingResult, error) {
+func RunScalability(ctx context.Context, sc Scale, sizes []int, seed int64) (*TimingResult, error) {
 	if len(sizes) == 0 {
 		sizes = []int{10, 50, 100}
 	}
@@ -70,11 +71,11 @@ func RunScalability(sc Scale, sizes []int, seed int64) (*TimingResult, error) {
 		}
 		city.Kinds = make([]dataset.RegionKind, len(regions))
 		city.ResolveODs()
-		env, err := NewEnv(city, sc, seed+20*int64(i))
+		env, err := NewEnv(ctx, city, sc, seed+20*int64(i))
 		if err != nil {
 			return nil, err
 		}
-		_, _, elapsed, err := env.RunOVS(nil)
+		_, _, elapsed, err := env.RunOVS(ctx, nil)
 		if err != nil {
 			return nil, err
 		}

@@ -369,9 +369,13 @@ func (b *cfgBuilder) switchBody(body *ast.BlockStmt, tag ast.Expr, label string)
 	}
 	for i, cc := range clauses {
 		b.cur = blocks[i]
-		// Record the clause so analyzers see the case expressions (they are
-		// evaluated, and in a type switch they bind the clause variable).
-		b.cur.Nodes = append(b.cur.Nodes, cc)
+		// Record only the case expressions — not the clause itself. The body
+		// statements are lowered individually below; recording the whole
+		// CaseClause would put the body's reads at the top of the block a
+		// second time, out of execution order, and mask flow bugs inside it.
+		for _, e := range cc.List {
+			b.cur.Nodes = append(b.cur.Nodes, e)
+		}
 		b.stmtListFallthrough(cc.Body, blocks, i)
 		if b.cur != nil {
 			addEdge(b.cur, after)

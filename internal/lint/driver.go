@@ -1,6 +1,7 @@
 package lint
 
 import (
+	"context"
 	"crypto/sha256"
 	"encoding/hex"
 	"encoding/json"
@@ -69,6 +70,14 @@ type cacheDiag struct {
 // Run analyzes every package of the module and returns per-package results
 // in sorted import-path order.
 func (d *Driver) Run() ([]PackageResult, error) {
+	return d.RunCtx(context.Background())
+}
+
+// RunCtx is Run with cooperative cancellation: the serial load loop checks
+// ctx between packages and the analysis fan-out stops claiming units once
+// ctx is done. A cancelled run returns context.Cause(ctx) and writes no
+// cache file, so a later full run cannot see partial results.
+func (d *Driver) RunCtx(ctx context.Context) ([]PackageResult, error) {
 	dirs, err := d.Loader.PackageDirs()
 	if err != nil {
 		return nil, err
@@ -102,6 +111,9 @@ func (d *Driver) Run() ([]PackageResult, error) {
 				continue
 			}
 		}
+		if err := ctx.Err(); err != nil {
+			return nil, context.Cause(ctx)
+		}
 		// Loading is serial: the loader's file set and package cache are
 		// shared mutable state. Analysis below is the parallel part.
 		pkg, err := d.Loader.Load(dir)
@@ -122,11 +134,14 @@ func (d *Driver) Run() ([]PackageResult, error) {
 		}
 	}
 	raws := make([][]rawDiag, len(units))
-	parallel.ForWorkers(d.Workers, len(units), 1, func(lo, hi int) {
+	err = parallel.ForWorkersCtx(ctx, d.Workers, len(units), 1, func(lo, hi int) {
 		for u := lo; u < hi; u++ {
 			raws[u] = runAnalyzer(toRun[units[u].pkg], d.Analyzers[units[u].an])
 		}
 	})
+	if err != nil {
+		return nil, err
+	}
 	for p, pkg := range toRun {
 		var raw []rawDiag
 		for u, un := range units {

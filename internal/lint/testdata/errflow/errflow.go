@@ -3,7 +3,10 @@
 // every path before it is overwritten or the function exits.
 package errflow
 
-import "errors"
+import (
+	"context"
+	"errors"
+)
 
 func fallible() error { return errors.New("boom") }
 
@@ -81,4 +84,33 @@ func rangeValueIsFine(errs []error) error {
 func capturedByClosure() func() error {
 	err := fallible()
 	return func() error { return err }
+}
+
+// ctxErrCheckedOnOnePath polls cancellation but only acts on it in the
+// verbose branch — the quiet path drops the cancellation on the floor, which
+// is exactly the bug class the cancellable runtime must not reintroduce.
+func ctxErrCheckedOnOnePath(ctx context.Context, verbose bool) error {
+	err := ctx.Err() // want "error assigned here is never read on some path"
+	if verbose {
+		return err
+	}
+	return nil
+}
+
+// ctxErrOverwrittenUnread polls twice and loses the first result before
+// anything reads it.
+func ctxErrOverwrittenUnread(ctx context.Context) error {
+	err := ctx.Err() // want "error assigned here is never read on some path"
+	err = ctx.Err()
+	return err
+}
+
+// ctxErrGate is the canonical cancellation safe-point: the poll is read in
+// the condition on every path.
+func ctxErrGate(ctx context.Context) error {
+	err := ctx.Err()
+	if err != nil {
+		return context.Cause(ctx)
+	}
+	return nil
 }

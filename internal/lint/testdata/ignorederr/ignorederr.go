@@ -4,6 +4,7 @@ package ignorederr
 
 import (
 	"bytes"
+	"context"
 	"errors"
 	"fmt"
 	"os"
@@ -66,4 +67,19 @@ func durabilityHandled(f *os.File) error {
 		return err
 	}
 	return os.Rename("ckpt.tmp", "ckpt")
+}
+
+// ctx.Err() is a special temptation to drop: it reads like a status query,
+// but it IS the error — a bare poll silently discards the cancellation the
+// caller was supposed to act on.
+func ctxDiscards(ctx context.Context) {
+	ctx.Err()     // want "discards its error result"
+	_ = ctx.Err() // want "error discarded with blank identifier"
+}
+
+func ctxHandled(ctx context.Context) error {
+	if err := ctx.Err(); err != nil {
+		return err
+	}
+	return context.Cause(ctx)
 }

@@ -17,9 +17,16 @@
 // use (an experiment cell fanning out into parallel tensor kernels) can
 // never deadlock on pool capacity, and an inner loop simply runs serially
 // when its own chunk count does not warrant helpers.
+//
+// The Ctx variants (ForCtx, ForWorkersCtx, RunCtx) add cooperative
+// cancellation on top of the same chunking: cancellation is observed only at
+// chunk boundaries, in-flight chunks always finish, and all helpers are
+// joined before returning, so a cancelled loop leaves no goroutines behind
+// and an uncancelled one is bitwise-identical to its plain counterpart.
 package parallel
 
 import (
+	"context"
 	"runtime"
 	"sync"
 	"sync/atomic"
@@ -114,6 +121,95 @@ func ForWorkers(workers, n, grain int, fn func(lo, hi int)) {
 // index) so results do not depend on the worker count.
 func Run(workers int, fns ...func()) {
 	ForWorkers(workers, len(fns), 1, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			fns[i]()
+		}
+	})
+}
+
+// ForCtx is For with cooperative cancellation: it runs fn over [0, n) in
+// contiguous chunks using the default worker count, draining at chunk
+// boundaries once ctx is cancelled. See ForWorkersCtx.
+func ForCtx(ctx context.Context, n, grain int, fn func(lo, hi int)) error {
+	return ForWorkersCtx(ctx, 0, n, grain, fn)
+}
+
+// ForWorkersCtx is ForWorkers with cooperative cancellation. Cancellation is
+// observed only at chunk boundaries: each worker checks ctx before claiming
+// its next chunk, a chunk that has started always runs to completion, and
+// every helper goroutine is joined before the call returns — a cancelled
+// call therefore leaves no workers behind and no chunk half-done. Chunk
+// boundaries still depend only on (n, grain), so a call that completes
+// without observing cancellation is bitwise-identical to ForWorkers.
+//
+// The return value is nil when all chunks ran, or the context's cancellation
+// cause once cancellation was observed. Which chunks ran before a cancelled
+// call stopped is scheduling-dependent; callers must treat the output as
+// abandoned when an error is returned.
+func ForWorkersCtx(ctx context.Context, workers, n, grain int, fn func(lo, hi int)) error {
+	if err := ctx.Err(); err != nil {
+		return context.Cause(ctx)
+	}
+	if n <= 0 {
+		return nil
+	}
+	if grain < 1 {
+		grain = 1
+	}
+	chunks := (n + grain - 1) / grain
+	workers = Resolve(workers)
+	if workers > chunks {
+		workers = chunks
+	}
+	done := ctx.Done()
+	var cancelled atomic.Bool
+	var next atomic.Int64
+	work := func() {
+		for {
+			select {
+			case <-done:
+				cancelled.Store(true)
+				return
+			default:
+			}
+			c := int(next.Add(1)) - 1
+			if c >= chunks {
+				return
+			}
+			lo := c * grain
+			hi := lo + grain
+			if hi > n {
+				hi = n
+			}
+			fn(lo, hi)
+		}
+	}
+	if workers <= 1 {
+		work()
+	} else {
+		var wg sync.WaitGroup
+		wg.Add(workers - 1)
+		for w := 1; w < workers; w++ {
+			go func() {
+				defer wg.Done()
+				work()
+			}()
+		}
+		work()
+		wg.Wait()
+	}
+	if cancelled.Load() {
+		return context.Cause(ctx)
+	}
+	return nil
+}
+
+// RunCtx is Run with cooperative cancellation: functions that have started
+// run to completion, no new function starts once ctx is cancelled, and the
+// call returns the cancellation cause after all in-flight functions have
+// been joined (nil if every function ran).
+func RunCtx(ctx context.Context, workers int, fns ...func()) error {
+	return ForWorkersCtx(ctx, workers, len(fns), 1, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			fns[i]()
 		}

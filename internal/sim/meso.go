@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -26,8 +28,11 @@ type mesoVehicle struct {
 	inNetwork bool
 }
 
-// runMeso executes the fundamental-diagram queue engine.
-func (s *Simulator) runMeso(d Demand) (*Result, error) {
+// runMeso executes the fundamental-diagram queue engine. Cancellation is
+// observed only at interval boundaries, before the boundary's route-cache
+// refresh, so the steps completed before a cancelled return form a whole
+// number of intervals.
+func (s *Simulator) runMeso(ctx context.Context, d Demand) (*Result, error) {
 	cfg := s.Cfg
 	net := s.Net
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -82,6 +87,12 @@ func (s *Simulator) runMeso(d Demand) (*Result, error) {
 	nextSpawn := 0
 	for step := 0; step < totalSteps; step++ {
 		interval := step / stepsPerInterval
+
+		// Interval boundary is the engine's cancellation safe point: every
+		// completed step stays whole and the abort lands between intervals.
+		if step%stepsPerInterval == 0 && ctx.Err() != nil {
+			return nil, fmt.Errorf("sim: cancelled at interval %d: %w", interval, context.Cause(ctx))
+		}
 
 		// 1+2. Update link speeds from density via the fundamental diagram,
 		// then advance vehicles. Both touch only link-local state (curSpeed[j]

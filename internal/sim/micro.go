@@ -1,6 +1,8 @@
 package sim
 
 import (
+	"context"
+	"fmt"
 	"math"
 	"math/rand"
 	"sort"
@@ -31,8 +33,9 @@ type microVehicle struct {
 
 // runMicro executes the IDM car-following engine. Each link is treated as a
 // single ordered lane (no overtaking); intersections transfer the leading
-// vehicle when the receiving link has headway space.
-func (s *Simulator) runMicro(d Demand) (*Result, error) {
+// vehicle when the receiving link has headway space. Like runMeso, ctx is
+// observed only at interval boundaries.
+func (s *Simulator) runMicro(ctx context.Context, d Demand) (*Result, error) {
 	cfg := s.Cfg
 	net := s.Net
 	rng := rand.New(rand.NewSource(cfg.Seed))
@@ -97,10 +100,14 @@ func (s *Simulator) runMicro(d Demand) (*Result, error) {
 	for step := 0; step < totalSteps; step++ {
 		interval := step / stepsPerInterval
 
-		// Interval boundary: refresh the dynamic route cache. The micro
-		// engine evaluates candidates at free-flow speeds (it keeps no
-		// per-link aggregate speed), so only the cache invalidation matters.
+		// Interval boundary: cancellation safe point, then refresh the dynamic
+		// route cache. The micro engine evaluates candidates at free-flow
+		// speeds (it keeps no per-link aggregate speed), so only the cache
+		// invalidation matters.
 		if step%stepsPerInterval == 0 {
+			if ctx.Err() != nil {
+				return nil, fmt.Errorf("sim: cancelled at interval %d: %w", interval, context.Cause(ctx))
+			}
 			chooser.beginInterval(freeSpeed)
 		}
 

@@ -18,6 +18,7 @@
 package sim
 
 import (
+	"context"
 	"fmt"
 	"math/rand"
 	"sort"
@@ -226,14 +227,22 @@ func New(net *roadnet.Network, cfg Config) *Simulator {
 // Run simulates the demand and returns volume/speed observations. The run is
 // deterministic for a fixed (network, config, demand) triple.
 func (s *Simulator) Run(d Demand) (*Result, error) {
+	return s.RunCtx(context.Background(), d)
+}
+
+// RunCtx is Run with cooperative cancellation. The engines observe ctx only
+// at interval boundaries — the simulator's safe points — so a run that
+// completes without being cancelled is bitwise-identical to Run. A cancelled
+// run returns the context's cancellation cause and a nil Result.
+func (s *Simulator) RunCtx(ctx context.Context, d Demand) (*Result, error) {
 	if err := d.Validate(s.Net, s.Cfg.Intervals); err != nil {
 		return nil, err
 	}
 	switch s.Cfg.Engine {
 	case Meso:
-		return s.runMeso(d)
+		return s.runMeso(ctx, d)
 	case Micro:
-		return s.runMicro(d)
+		return s.runMicro(ctx, d)
 	default:
 		return nil, fmt.Errorf("sim: unknown engine %d", s.Cfg.Engine)
 	}
